@@ -1,0 +1,82 @@
+//! Experiment: the node-differential-privacy preliminary study (Section 7).
+//!
+//! Reproduces the paper's closing experiment: learn Θ_F with edge truncation
+//! plus node-adjacency smooth sensitivity (δ = 0.01) and report the Hellinger
+//! distance to the true correlations for each dataset across ε, comparing
+//! against the uniform-correlation baseline and the edge-DP estimator.
+//!
+//! ```text
+//! cargo run -p agmdp-bench --release --bin exp_node_dp [-- --trials 20]
+//! ```
+
+use agmdp_bench::{load_datasets, maybe_write_json, mean, rng_for, ExperimentArgs, ResultRecord};
+use agmdp_core::correlations_dp::{learn_correlations_dp, CorrelationMethod};
+use agmdp_core::node_dp::learn_correlations_node_dp;
+use agmdp_core::ThetaF;
+use agmdp_metrics::distance::hellinger_distance;
+use agmdp_models::baselines::uniform_correlation_distribution;
+
+const DELTA: f64 = 0.01;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let trials = args.trials.unwrap_or(20);
+    let datasets = load_datasets(&args);
+    let mut records = Vec::new();
+
+    println!("\nSection 7: node-DP Theta_F (edge truncation + node-adjacency smooth sensitivity, delta = 0.01)\n");
+    println!(
+        "{:<16} {:>8} {:>14} {:>14} {:>14}",
+        "dataset", "epsilon", "H(node-DP)", "H(edge-DP)", "H(uniform)"
+    );
+
+    let epsilons = [0.05, 0.1, 0.2, 0.3, std::f64::consts::LN_2, 3f64.ln()];
+    for ds in &datasets {
+        let truth = ThetaF::from_graph(&ds.graph);
+        let uniform = uniform_correlation_distribution(ds.graph.schema());
+        let h_uniform = hellinger_distance(truth.probabilities(), &uniform);
+        let mut rng = rng_for(&args, &format!("nodedp-{}", ds.spec.name));
+
+        for &epsilon in &epsilons {
+            let node: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let est =
+                        learn_correlations_node_dp(&ds.graph, epsilon, DELTA, None, &mut rng)
+                            .expect("node-DP estimation succeeds");
+                    hellinger_distance(truth.probabilities(), est.probabilities())
+                })
+                .collect();
+            let edge: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let est = learn_correlations_dp(
+                        &ds.graph,
+                        epsilon,
+                        CorrelationMethod::EdgeTruncation { k: None },
+                        &mut rng,
+                    )
+                    .expect("edge-DP estimation succeeds");
+                    hellinger_distance(truth.probabilities(), est.probabilities())
+                })
+                .collect();
+            let (h_node, h_edge) = (mean(&node), mean(&edge));
+            let marker = if h_node < h_uniform { "beats baseline" } else { "" };
+            println!(
+                "{:<16} {:>8.3} {:>14.3} {:>14.3} {:>14.3}  {}",
+                ds.spec.name, epsilon, h_node, h_edge, h_uniform, marker
+            );
+            records.push(
+                ResultRecord::new("node_dp", &ds.spec.name)
+                    .with_param("epsilon", epsilon)
+                    .with_param("delta", DELTA)
+                    .with_metric("hellinger_node_dp", h_node)
+                    .with_metric("hellinger_edge_dp", h_edge)
+                    .with_metric("hellinger_uniform", h_uniform),
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper, Section 7): node-DP error exceeds edge-DP error but still");
+    println!("beats the uniform baseline once epsilon is moderate; the crossover epsilon shrinks");
+    println!("as the dataset grows (ln 2 for Last.fm down to 0.05 for Pokec).");
+    maybe_write_json(&args, &records);
+}

@@ -1,0 +1,113 @@
+//! Acceptance-probability computation (Algorithm 3, lines 10–16).
+//!
+//! AGM imposes the learned attribute–edge correlations on the structural
+//! model by accept/reject sampling: after generating a temporary edge set, the
+//! correlations `Θ'_F` it happens to exhibit are measured, and each edge
+//! configuration `y` receives the ratio `R(y) = Θ̃_F(y) / Θ'_F(y)`
+//! (multiplied by the previous iteration's acceptance probabilities, if any).
+//! Normalising by `sup R` turns the ratios into acceptance probabilities in
+//! `(0, 1]`; configurations that are over-represented relative to the target
+//! get suppressed and under-represented ones get accepted with probability 1.
+
+use crate::params::ThetaF;
+
+/// Floor applied to observed probabilities so that configurations which
+/// happened not to appear in the temporary graph do not produce infinite
+/// ratios (they simply become maximally accepted instead).
+const OBSERVED_FLOOR: f64 = 1e-6;
+
+/// Computes the acceptance probabilities `A` from the target correlations,
+/// the correlations observed in the current temporary graph, and optionally
+/// the previous iteration's acceptance probabilities.
+///
+/// The result has one entry per edge configuration, each in `[0, 1]`, with at
+/// least one entry equal to 1 (the supremum normalisation).
+#[must_use]
+pub fn acceptance_probabilities(
+    target: &ThetaF,
+    observed: &ThetaF,
+    previous: Option<&[f64]>,
+) -> Vec<f64> {
+    let target_p = target.probabilities();
+    let observed_p = observed.probabilities();
+    let mut ratios: Vec<f64> = target_p
+        .iter()
+        .zip(observed_p)
+        .map(|(&t, &o)| t / o.max(OBSERVED_FLOOR))
+        .collect();
+    if let Some(prev) = previous {
+        for (r, &a) in ratios.iter_mut().zip(prev) {
+            *r *= a.max(0.0);
+        }
+    }
+    let sup = ratios.iter().copied().fold(0.0f64, f64::max);
+    if sup <= 0.0 {
+        // Degenerate target (all mass on configurations we floored away):
+        // fall back to accepting everything.
+        return vec![1.0; ratios.len()];
+    }
+    ratios.into_iter().map(|r| (r / sup).clamp(0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_graph::AttributeSchema;
+
+    fn theta(probs: Vec<f64>) -> ThetaF {
+        ThetaF::new(AttributeSchema::new(1), probs).unwrap()
+    }
+
+    #[test]
+    fn matching_distributions_accept_everything() {
+        let t = theta(vec![0.5, 0.3, 0.2]);
+        let a = acceptance_probabilities(&t, &t.clone(), None);
+        assert_eq!(a.len(), 3);
+        for &p in &a {
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn over_represented_configurations_are_suppressed() {
+        let target = theta(vec![0.2, 0.2, 0.6]);
+        let observed = theta(vec![0.6, 0.2, 0.2]);
+        let a = acceptance_probabilities(&target, &observed, None);
+        // Config 2 is under-represented -> probability 1; config 0 is
+        // over-represented -> strongly suppressed.
+        assert!((a[2] - 1.0).abs() < 1e-9);
+        assert!(a[0] < a[1]);
+        assert!(a[0] < 0.2);
+        assert!(a.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn previous_acceptance_is_composed() {
+        let target = theta(vec![0.5, 0.5, 0.0]);
+        let observed = theta(vec![0.5, 0.5, 0.0]);
+        let prev = vec![1.0, 0.5, 1.0];
+        let a = acceptance_probabilities(&target, &observed, Some(&prev));
+        // Ratios are equal, so the previous probabilities decide the shape.
+        assert!((a[0] - 1.0).abs() < 1e-9);
+        assert!((a[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unobserved_configurations_get_full_acceptance() {
+        // Target mass on a configuration the temporary graph never produced.
+        let target = theta(vec![0.0, 0.0, 1.0]);
+        let observed = theta(vec![0.5, 0.5, 0.0]);
+        let a = acceptance_probabilities(&target, &observed, None);
+        assert!((a[2] - 1.0).abs() < 1e-9);
+        assert!(a[0] < 1e-3);
+    }
+
+    #[test]
+    fn sup_normalisation_keeps_a_maximum_of_one() {
+        let target = theta(vec![0.1, 0.2, 0.7]);
+        let observed = theta(vec![0.4, 0.4, 0.2]);
+        let a = acceptance_probabilities(&target, &observed, None);
+        let max = a.iter().copied().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for AGM / AGM-DP.
+
+use std::fmt;
+
+use agmdp_graph::GraphError;
+use agmdp_models::ModelError;
+use agmdp_privacy::PrivacyError;
+
+/// Errors produced by parameter learning or graph synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// A privacy mechanism was misconfigured or over-spent its budget.
+    Privacy(PrivacyError),
+    /// A structural model failed to fit or generate.
+    Model(ModelError),
+    /// The AGM configuration itself was invalid.
+    InvalidConfig(String),
+    /// The input graph cannot be modelled (e.g. no nodes, no edges).
+    UnusableInput(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Privacy(e) => write!(f, "privacy error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid AGM configuration: {msg}"),
+            CoreError::UnusableInput(msg) => write!(f, "unusable input graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Privacy(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<PrivacyError> for CoreError {
+    fn from(e: PrivacyError) -> Self {
+        CoreError::Privacy(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_display() {
+        let g: CoreError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(g.to_string().contains("graph error"));
+        assert!(g.source().is_some());
+        let p: CoreError = PrivacyError::InvalidEpsilon(0.0).into();
+        assert!(p.to_string().contains("privacy error"));
+        let m: CoreError = ModelError::InvalidParameter("x".into()).into();
+        assert!(m.to_string().contains("model error"));
+        let c = CoreError::InvalidConfig("bad".into());
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_none());
+        let u = CoreError::UnusableInput("empty".into());
+        assert!(u.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Plain-text interchange format for attributed graphs.
+//!
+//! The format is line oriented and mirrors how the paper's datasets are
+//! distributed (an edge list plus a node-attribute table):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! nodes <n> <w>
+//! attr <node id> <bit_0> <bit_1> ... <bit_{w-1}>
+//! edge <u> <v>
+//! ```
+//!
+//! `attr` lines are optional (missing nodes default to the all-zero vector);
+//! `edge` lines may contain duplicates or self-loops, which are skipped via
+//! [`crate::GraphBuilder`] exactly as the paper's pre-processing does.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::attributes::AttributeSchema;
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::AttributedGraph;
+use crate::Result;
+
+/// Serialises a graph to the text format described in the module docs.
+#[must_use]
+pub fn to_text(g: &AttributedGraph) -> String {
+    let w = g.schema().width();
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {} {}", g.num_nodes(), w);
+    if w > 0 {
+        for v in g.nodes() {
+            let bits = g.schema().bits_from_code(g.attribute_code(v));
+            let _ = write!(out, "attr {v}");
+            for b in bits {
+                let _ = write!(out, " {b}");
+            }
+            out.push('\n');
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "edge {} {}", e.u, e.v);
+    }
+    out
+}
+
+/// Parses a graph from the text format described in the module docs.
+pub fn from_text(text: &str) -> Result<AttributedGraph> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut schema = AttributeSchema::new(0);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        let ctx = |msg: &str| GraphError::Format(format!("line {}: {msg}", lineno + 1));
+        match tag {
+            "nodes" => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing node count"))?
+                    .parse()
+                    .map_err(|_| ctx("invalid node count"))?;
+                let w: usize = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing attribute width"))?
+                    .parse()
+                    .map_err(|_| ctx("invalid attribute width"))?;
+                if w > 16 {
+                    return Err(ctx("attribute width exceeds 16"));
+                }
+                schema = AttributeSchema::new(w);
+                builder = Some(GraphBuilder::new(n, schema));
+            }
+            "attr" => {
+                let b = builder.as_mut().ok_or_else(|| ctx("attr before nodes header"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing node id"))?
+                    .parse()
+                    .map_err(|_| ctx("invalid node id"))?;
+                let bits: Vec<u8> = parts
+                    .map(|p| p.parse::<u8>().map_err(|_| ctx("invalid attribute bit")))
+                    .collect::<Result<_>>()?;
+                let code = schema.code_from_bits(&bits)?;
+                b.attribute(v, code)?;
+            }
+            "edge" => {
+                let b = builder.as_mut().ok_or_else(|| ctx("edge before nodes header"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| ctx("invalid edge endpoint"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| ctx("invalid edge endpoint"))?;
+                b.edge(u, v)?;
+            }
+            other => {
+                return Err(ctx(&format!("unknown record type '{other}'")));
+            }
+        }
+    }
+    builder.map(GraphBuilder::build).ok_or_else(|| GraphError::Format("missing 'nodes' header".into()))
+}
+
+/// Writes a graph to a file in the text format.
+pub fn write_file<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> Result<()> {
+    fs::write(path, to_text(g))?;
+    Ok(())
+}
+
+/// Reads a graph from a file in the text format.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<AttributedGraph> {
+    let text = fs::read_to_string(path)?;
+    from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> AttributedGraph {
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+        g.set_attribute_code(0, 1).unwrap();
+        g.set_attribute_code(1, 3).unwrap();
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_graph() {
+        let g = sample_graph();
+        let text = to_text(&g);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), g.num_nodes());
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        assert_eq!(parsed.attribute_codes(), g.attribute_codes());
+        assert_eq!(parsed.edge_vec(), g.edge_vec());
+    }
+
+    #[test]
+    fn parser_ignores_comments_blank_lines_and_noise_edges() {
+        let text = "# a comment\n\nnodes 3 1\nattr 0 1\nedge 0 1\nedge 1 0\nedge 2 2\nedge 1 2\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.attribute_code(0), 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(from_text("").is_err());
+        assert!(from_text("edge 0 1\n").is_err());
+        assert!(from_text("nodes x 2\n").is_err());
+        assert!(from_text("nodes 3 1\nattr 0 2\n").is_err());
+        assert!(from_text("nodes 3 1\nbogus 1 2\n").is_err());
+        assert!(from_text("nodes 3 1\nedge 0\n").is_err());
+        assert!(from_text("nodes 2 17\n").is_err());
+        assert!(from_text("nodes 2 1\nedge 0 9\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("agmdp_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.graph");
+        write_file(&g, &path).unwrap();
+        let parsed = read_file(&path).unwrap();
+        assert_eq!(parsed, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_file("/definitely/not/a/real/path.graph").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn unattributed_graph_omits_attr_lines() {
+        let g = AttributedGraph::unattributed(2);
+        let text = to_text(&g);
+        assert!(!text.contains("attr"));
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! # agmdp-graph
+//!
+//! Attributed simple-graph substrate for the AGM-DP reproduction
+//! ("Publishing Attributed Social Graphs with Formal Privacy Guarantees",
+//! Jorgensen, Yu & Cormode, SIGMOD 2016).
+//!
+//! The paper models a social network as an undirected, unweighted simple graph
+//! `G = (N, E, X)` where every node carries a `w`-dimensional binary attribute
+//! vector. This crate provides:
+//!
+//! * [`AttributedGraph`] — the core graph representation with dense `u32` node
+//!   ids, sorted adjacency lists, an insertion-ordered edge list (the paper's
+//!   *canonical edge ordering*, needed by edge truncation and by TriCycLe's
+//!   oldest-edge rule), and per-node attribute codes.
+//! * [`AttributeSchema`] / attribute-code helpers implementing the paper's
+//!   `f_w` (node-configuration) and `F_w` (edge-configuration) encodings.
+//! * Structural analyses used throughout the paper: degree sequences and
+//!   distributions ([`degree`]), triangle and wedge counting ([`triangles`]),
+//!   local/global clustering coefficients ([`clustering`]), connected
+//!   components and orphan detection ([`components`]).
+//! * The edge-truncation operator µ(G, k) of Definition 2 ([`truncation`]).
+//! * Induced subgraphs and random node partitions used by the
+//!   sample-and-aggregate mechanism ([`subgraph`]).
+//! * A plain-text interchange format for attributed graphs ([`io`]).
+//!
+//! The crate is deterministic: it contains no randomness of its own (random
+//! partitioning takes a caller-provided shuffled order), so all DP guarantees
+//! and experiments remain reproducible from the seeds used upstream.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use agmdp_graph::{AttributedGraph, AttributeSchema};
+//!
+//! // A 4-node graph with w = 2 binary attributes per node.
+//! let schema = AttributeSchema::new(2);
+//! let mut g = AttributedGraph::new(4, schema);
+//! g.set_attribute_code(0, 0b00).unwrap();
+//! g.set_attribute_code(1, 0b01).unwrap();
+//! g.set_attribute_code(2, 0b11).unwrap();
+//! g.set_attribute_code(3, 0b01).unwrap();
+//! g.add_edge(0, 1).unwrap();
+//! g.add_edge(1, 2).unwrap();
+//! g.add_edge(2, 0).unwrap();
+//! g.add_edge(2, 3).unwrap();
+//!
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(agmdp_graph::triangles::count_triangles(&g), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod builder;
+pub mod categorical;
+pub mod clustering;
+pub mod components;
+pub mod degree;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod subgraph;
+pub mod triangles;
+pub mod truncation;
+
+pub use attributes::{AttributeSchema, EdgeConfigIndex, NodeConfigIndex};
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{AttributedGraph, Edge, NodeId};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

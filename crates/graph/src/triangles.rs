@@ -1,0 +1,200 @@
+//! Triangle and wedge counting.
+//!
+//! TriCycLe (Section 3.3) is parameterised by the exact number of triangles
+//! `n_Δ` in the input graph, and the evaluation reports triangle counts and
+//! the global clustering coefficient `C = 3 n_Δ / n_W` where `n_W` is the
+//! number of wedges (length-two paths). The Ladder mechanism (Appendix C.3.2)
+//! additionally needs, for an edge `(u, v)`, the number of triangles that edge
+//! participates in — which equals the common-neighbor count of its endpoints.
+
+use crate::graph::{AttributedGraph, NodeId};
+
+/// Counts the triangles in `g`.
+///
+/// Uses the standard neighbor-merge algorithm: for every edge `(u, v)` with
+/// `u < v`, count common neighbors `w > v` so each triangle is counted exactly
+/// once. Runs in `O(sum_e (d_u + d_v))`.
+#[must_use]
+pub fn count_triangles(g: &AttributedGraph) -> u64 {
+    let mut total = 0u64;
+    for u in g.nodes() {
+        let nbrs_u = g.neighbors(u);
+        for &v in nbrs_u.iter().filter(|&&v| v > u) {
+            // Merge-count common neighbors strictly greater than v.
+            let nbrs_v = g.neighbors(v);
+            let mut i = nbrs_u.partition_point(|&x| x <= v);
+            let mut j = nbrs_v.partition_point(|&x| x <= v);
+            while i < nbrs_u.len() && j < nbrs_v.len() {
+                match nbrs_u[i].cmp(&nbrs_v[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        total += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Counts the wedges (length-two paths) in `g`: `sum_v C(d_v, 2)`.
+#[must_use]
+pub fn count_wedges(g: &AttributedGraph) -> u64 {
+    g.nodes()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Number of triangles each node participates in.
+///
+/// `triangles_per_node(g)[v]` is the number of edges among the neighbors of
+/// `v`; summing over all nodes counts each triangle three times.
+#[must_use]
+pub fn triangles_per_node(g: &AttributedGraph) -> Vec<u64> {
+    let mut counts = vec![0u64; g.num_nodes()];
+    for u in g.nodes() {
+        let nbrs_u = g.neighbors(u);
+        for &v in nbrs_u.iter().filter(|&&v| v > u) {
+            let common = common_after(g, u, v, v);
+            // Each common neighbor w > v closes a triangle {u, v, w}.
+            for &w in &common {
+                counts[u as usize] += 1;
+                counts[v as usize] += 1;
+                counts[w as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Number of triangles that the (present or hypothetical) edge `(u, v)` closes,
+/// i.e. `|Γ(u) ∩ Γ(v)|`.
+#[must_use]
+pub fn triangles_on_edge(g: &AttributedGraph, u: NodeId, v: NodeId) -> usize {
+    g.common_neighbor_count(u, v)
+}
+
+/// Maximum, over all present edges, of the number of triangles sharing that
+/// edge. This is the quantity driving the local sensitivity of triangle
+/// counting used by the Ladder framework.
+#[must_use]
+pub fn max_triangles_on_any_edge(g: &AttributedGraph) -> usize {
+    g.edges().map(|e| g.common_neighbor_count(e.u, e.v)).max().unwrap_or(0)
+}
+
+fn common_after(g: &AttributedGraph, u: NodeId, v: NodeId, after: NodeId) -> Vec<NodeId> {
+    let nbrs_u = g.neighbors(u);
+    let nbrs_v = g.neighbors(v);
+    let mut i = nbrs_u.partition_point(|&x| x <= after);
+    let mut j = nbrs_v.partition_point(|&x| x <= after);
+    let mut out = Vec::new();
+    while i < nbrs_u.len() && j < nbrs_v.len() {
+        match nbrs_u[i].cmp(&nbrs_v[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(nbrs_u[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttributeSchema;
+    use crate::graph::AttributedGraph;
+
+    fn complete_graph(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(n, AttributeSchema::new(0));
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u as u32, v as u32).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_counts_on_known_graphs() {
+        // K4 has C(4,3) = 4 triangles, K5 has 10.
+        assert_eq!(count_triangles(&complete_graph(3)), 1);
+        assert_eq!(count_triangles(&complete_graph(4)), 4);
+        assert_eq!(count_triangles(&complete_graph(5)), 10);
+        // A path has no triangles.
+        let mut path = AttributedGraph::unattributed(5);
+        for v in 1..5 {
+            path.add_edge(v - 1, v).unwrap();
+        }
+        assert_eq!(count_triangles(&path), 0);
+        // Empty graph.
+        assert_eq!(count_triangles(&AttributedGraph::unattributed(0)), 0);
+    }
+
+    #[test]
+    fn wedge_counts_on_known_graphs() {
+        // K4: every node has degree 3, so 4 * C(3,2) = 12 wedges.
+        assert_eq!(count_wedges(&complete_graph(4)), 12);
+        // Star with 4 leaves: center has degree 4 → C(4,2) = 6 wedges.
+        let mut star = AttributedGraph::unattributed(5);
+        for v in 1..5 {
+            star.add_edge(0, v).unwrap();
+        }
+        assert_eq!(count_wedges(&star), 6);
+        assert_eq!(count_triangles(&star), 0);
+    }
+
+    #[test]
+    fn global_clustering_identity_holds() {
+        // For any graph: 3 * triangles <= wedges.
+        let g = complete_graph(6);
+        assert!(3 * count_triangles(&g) <= count_wedges(&g));
+        // For a complete graph transitivity is exactly 1.
+        assert_eq!(3 * count_triangles(&g), count_wedges(&g));
+    }
+
+    #[test]
+    fn per_node_counts_sum_to_three_times_total() {
+        let g = complete_graph(5);
+        let per_node = triangles_per_node(&g);
+        let total: u64 = per_node.iter().sum();
+        assert_eq!(total, 3 * count_triangles(&g));
+        // In K5 every node is in C(4,2) = 6 triangles.
+        assert!(per_node.iter().all(|&c| c == 6));
+    }
+
+    #[test]
+    fn triangles_on_edge_matches_common_neighbors() {
+        let g = complete_graph(4);
+        assert_eq!(triangles_on_edge(&g, 0, 1), 2);
+        assert_eq!(max_triangles_on_any_edge(&g), 2);
+        let empty = AttributedGraph::unattributed(3);
+        assert_eq!(max_triangles_on_any_edge(&empty), 0);
+    }
+
+    #[test]
+    fn bowtie_graph_counts() {
+        // Two triangles sharing node 2.
+        let mut g = AttributedGraph::unattributed(5);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(3, 4).unwrap();
+        g.add_edge(2, 4).unwrap();
+        assert_eq!(count_triangles(&g), 2);
+        let per_node = triangles_per_node(&g);
+        assert_eq!(per_node[2], 2);
+        assert_eq!(per_node[0], 1);
+        assert_eq!(per_node[4], 1);
+    }
+}

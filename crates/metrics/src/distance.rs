@@ -1,0 +1,208 @@
+//! Distance and error measures between distributions and scalar statistics.
+//!
+//! These implement exactly the quantities defined in Section 5.1 of the paper:
+//!
+//! * Kolmogorov–Smirnov statistic `KS(S, S̃) = max_d |F_S(d) − F_S̃(d)|`
+//!   between two degree distributions.
+//! * Hellinger distance
+//!   `H = (1/√2) · sqrt( Σ_i (√p_i − √q_i)² )`
+//!   between two discrete distributions (degree distributions or the
+//!   attribute-correlation distributions Θ_F).
+//! * Mean relative error (MRE) and mean absolute error (MAE), used for the
+//!   scalar statistics (edge count, triangle count, clustering coefficients)
+//!   and for the Θ_F comparisons of Figures 1 and 5.
+
+/// Relative error `|measured − truth| / |truth|`.
+///
+/// When `truth` is zero the absolute error is returned instead (so the measure
+/// stays finite), matching the usual convention for reporting MRE tables.
+#[must_use]
+pub fn relative_error(truth: f64, measured: f64) -> f64 {
+    if truth == 0.0 {
+        (measured - truth).abs()
+    } else {
+        (measured - truth).abs() / truth.abs()
+    }
+}
+
+/// Mean absolute error between two equally long vectors.
+///
+/// If the vectors have different lengths, the shorter one is implicitly padded
+/// with zeros (this is convenient when comparing degree histograms of
+/// different maximum degree).
+#[must_use]
+pub fn mean_absolute_error(truth: &[f64], measured: &[f64]) -> f64 {
+    let len = truth.len().max(measured.len());
+    if len == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..len {
+        let t = truth.get(i).copied().unwrap_or(0.0);
+        let m = measured.get(i).copied().unwrap_or(0.0);
+        total += (t - m).abs();
+    }
+    total / len as f64
+}
+
+/// Mean relative error between two equally long vectors (zero-padded like
+/// [`mean_absolute_error`]); entries whose true value is zero contribute their
+/// absolute error.
+#[must_use]
+pub fn mean_relative_error(truth: &[f64], measured: &[f64]) -> f64 {
+    let len = truth.len().max(measured.len());
+    if len == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..len {
+        let t = truth.get(i).copied().unwrap_or(0.0);
+        let m = measured.get(i).copied().unwrap_or(0.0);
+        total += relative_error(t, m);
+    }
+    total / len as f64
+}
+
+/// Hellinger distance between two discrete probability distributions.
+///
+/// The result lies in `[0, 1]` when both inputs are probability distributions;
+/// shorter inputs are zero-padded.
+#[must_use]
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let mut sum = 0.0;
+    for i in 0..len {
+        let a = p.get(i).copied().unwrap_or(0.0).max(0.0);
+        let b = q.get(i).copied().unwrap_or(0.0).max(0.0);
+        let d = a.sqrt() - b.sqrt();
+        sum += d * d;
+    }
+    (sum).sqrt() / std::f64::consts::SQRT_2
+}
+
+/// Kolmogorov–Smirnov statistic between two distributions given as
+/// *histograms* over the integers `0..len` (zero-padded to a common support):
+/// the maximum absolute difference of their CDFs.
+#[must_use]
+pub fn ks_statistic(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let mut cdf_p = 0.0;
+    let mut cdf_q = 0.0;
+    let mut max_diff: f64 = 0.0;
+    for i in 0..len {
+        cdf_p += p.get(i).copied().unwrap_or(0.0);
+        cdf_q += q.get(i).copied().unwrap_or(0.0);
+        max_diff = max_diff.max((cdf_p - cdf_q).abs());
+    }
+    max_diff
+}
+
+/// Kolmogorov–Smirnov statistic between two empirical samples of arbitrary
+/// real values (e.g. sorted degree sequences): the maximum vertical distance
+/// between their empirical CDFs.
+#[must_use]
+pub fn ks_statistic_samples(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("samples must not be NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("samples must not be NaN"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut max_diff: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let diff = (i as f64 / na - j as f64 / nb).abs();
+        max_diff = max_diff.max(diff);
+    }
+    max_diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic_and_zero_truth() {
+        assert!((relative_error(10.0, 12.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(10.0, 8.0) - 0.2).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!((relative_error(0.0, 0.3) - 0.3).abs() < 1e-12);
+        assert!((relative_error(-4.0, -2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_and_mre_handle_length_mismatch_and_empty() {
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+        assert_eq!(mean_relative_error(&[], &[]), 0.0);
+        let t = [1.0, 2.0];
+        let m = [1.0, 2.0, 3.0];
+        assert!((mean_absolute_error(&t, &m) - 1.0).abs() < 1e-12); // (0+0+3)/3
+        assert!((mean_relative_error(&t, &m) - 1.0).abs() < 1e-12); // (0+0+3)/3 with 0-truth abs
+    }
+
+    #[test]
+    fn hellinger_identity_and_disjoint() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(hellinger_distance(&p, &p).abs() < 1e-12);
+        // Disjoint supports give the maximum distance of 1.
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((hellinger_distance(&a, &b) - 1.0).abs() < 1e-12);
+        // Symmetric.
+        let q = [0.5, 0.3, 0.2];
+        assert!((hellinger_distance(&p, &q) - hellinger_distance(&q, &p)).abs() < 1e-15);
+        // Bounded by [0, 1].
+        assert!(hellinger_distance(&p, &q) > 0.0 && hellinger_distance(&p, &q) < 1.0);
+    }
+
+    #[test]
+    fn hellinger_known_value() {
+        // H([1,0],[0.5,0.5]) = sqrt((1-sqrt(0.5))^2 + 0.5)/sqrt(2)
+        let h = hellinger_distance(&[1.0, 0.0], &[0.5, 0.5]);
+        let expected = (((1.0f64 - 0.5f64.sqrt()).powi(2) + 0.5).sqrt()) / std::f64::consts::SQRT_2;
+        assert!((h - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_histograms() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        // CDFs: p = (0.5, 1.0, 1.0), q = (0.0, 0.5, 1.0) -> max diff 0.5.
+        assert!((ks_statistic(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(ks_statistic(&p, &p), 0.0);
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_samples_basic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic_samples(&a, &b), 0.0);
+        let c = [10.0, 11.0, 12.0, 13.0];
+        assert!((ks_statistic_samples(&a, &c) - 1.0).abs() < 1e-12);
+        // One empty sample.
+        assert_eq!(ks_statistic_samples(&a, &[]), 1.0);
+        assert_eq!(ks_statistic_samples(&[], &[]), 0.0);
+        // Different lengths, interleaved values.
+        let d = [1.0, 3.0];
+        let e = [2.0, 4.0, 6.0];
+        let ks = ks_statistic_samples(&d, &e);
+        assert!(ks > 0.0 && ks <= 1.0);
+    }
+
+    #[test]
+    fn ks_statistic_symmetry() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.6, 0.1, 0.3];
+        assert!((ks_statistic(&p, &q) - ks_statistic(&q, &p)).abs() < 1e-15);
+    }
+}

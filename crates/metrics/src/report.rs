@@ -1,0 +1,153 @@
+//! Structural comparison reports for (original, synthetic) graph pairs.
+//!
+//! [`GraphComparison`] computes every *structural* column of Tables 2–5 of the
+//! paper for a single synthetic graph against its original: the KS statistic
+//! and Hellinger distance between degree distributions, the relative errors of
+//! the triangle count, average local clustering coefficient, global clustering
+//! coefficient and edge count. (The Θ_F columns are attribute-model quantities
+//! and are computed by the `agmdp-core` / benchmark layers, which own the
+//! Θ_F learner.) Reports can be averaged across many synthetic samples, which
+//! is how the paper reports its tables (1,000 or 100 trials per setting).
+
+use serde::{Deserialize, Serialize};
+
+use agmdp_graph::clustering::{average_local_clustering, global_clustering};
+use agmdp_graph::degree::DegreeSequence;
+use agmdp_graph::triangles::count_triangles;
+use agmdp_graph::AttributedGraph;
+
+use crate::distance::{hellinger_distance, ks_statistic, relative_error};
+
+/// Structural-fidelity metrics of a synthetic graph relative to an original.
+///
+/// Field names mirror the table headers of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GraphComparison {
+    /// Kolmogorov–Smirnov statistic between degree distributions (`KS_S`).
+    pub ks_degree: f64,
+    /// Hellinger distance between degree distributions (`H_S`).
+    pub hellinger_degree: f64,
+    /// Relative error of the triangle count (`n_Δ`).
+    pub triangle_count_re: f64,
+    /// Relative error of the average local clustering coefficient (`C̄`).
+    pub avg_clustering_re: f64,
+    /// Relative error of the global clustering coefficient (`C`).
+    pub global_clustering_re: f64,
+    /// Relative error of the edge count (`m`).
+    pub edge_count_re: f64,
+}
+
+impl GraphComparison {
+    /// Compares `synthetic` against `original`.
+    #[must_use]
+    pub fn compare(original: &AttributedGraph, synthetic: &AttributedGraph) -> Self {
+        let dist_orig = DegreeSequence::from_graph(original).distribution();
+        let dist_synth = DegreeSequence::from_graph(synthetic).distribution();
+        let tri_orig = count_triangles(original) as f64;
+        let tri_synth = count_triangles(synthetic) as f64;
+        Self {
+            ks_degree: ks_statistic(&dist_orig, &dist_synth),
+            hellinger_degree: hellinger_distance(&dist_orig, &dist_synth),
+            triangle_count_re: relative_error(tri_orig, tri_synth),
+            avg_clustering_re: relative_error(
+                average_local_clustering(original),
+                average_local_clustering(synthetic),
+            ),
+            global_clustering_re: relative_error(
+                global_clustering(original),
+                global_clustering(synthetic),
+            ),
+            edge_count_re: relative_error(
+                original.num_edges() as f64,
+                synthetic.num_edges() as f64,
+            ),
+        }
+    }
+
+    /// Averages a collection of comparisons element-wise (the paper's tables
+    /// report the mean over many synthetic samples). Returns the default
+    /// (all-zero) report for an empty slice.
+    #[must_use]
+    pub fn mean(reports: &[GraphComparison]) -> Self {
+        if reports.is_empty() {
+            return Self::default();
+        }
+        let n = reports.len() as f64;
+        let mut acc = Self::default();
+        for r in reports {
+            acc.ks_degree += r.ks_degree;
+            acc.hellinger_degree += r.hellinger_degree;
+            acc.triangle_count_re += r.triangle_count_re;
+            acc.avg_clustering_re += r.avg_clustering_re;
+            acc.global_clustering_re += r.global_clustering_re;
+            acc.edge_count_re += r.edge_count_re;
+        }
+        acc.ks_degree /= n;
+        acc.hellinger_degree /= n;
+        acc.triangle_count_re /= n;
+        acc.avg_clustering_re /= n;
+        acc.global_clustering_re /= n;
+        acc.edge_count_re /= n;
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_graph::AttributeSchema;
+
+    fn ring(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(n, AttributeSchema::new(0));
+        for v in 0..n {
+            g.add_edge(v as u32, ((v + 1) % n) as u32).unwrap();
+        }
+        g
+    }
+
+    fn complete(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::unattributed(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_error() {
+        let g = ring(8);
+        let r = GraphComparison::compare(&g, &g);
+        assert_eq!(r.ks_degree, 0.0);
+        assert_eq!(r.hellinger_degree, 0.0);
+        assert_eq!(r.triangle_count_re, 0.0);
+        assert_eq!(r.avg_clustering_re, 0.0);
+        assert_eq!(r.global_clustering_re, 0.0);
+        assert_eq!(r.edge_count_re, 0.0);
+    }
+
+    #[test]
+    fn different_graphs_have_positive_error() {
+        let orig = complete(6);
+        let synth = ring(6);
+        let r = GraphComparison::compare(&orig, &synth);
+        assert!(r.ks_degree > 0.0);
+        assert!(r.hellinger_degree > 0.0);
+        assert!(r.triangle_count_re > 0.0);
+        assert!(r.edge_count_re > 0.0);
+        // K6 has clustering 1, ring has 0 → relative error 1.
+        assert!((r.avg_clustering_re - 1.0).abs() < 1e-12);
+        assert!((r.global_clustering_re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_reports_averages_fields() {
+        let a = GraphComparison { ks_degree: 0.2, ..Default::default() };
+        let b = GraphComparison { ks_degree: 0.4, edge_count_re: 0.1, ..Default::default() };
+        let m = GraphComparison::mean(&[a, b]);
+        assert!((m.ks_degree - 0.3).abs() < 1e-12);
+        assert!((m.edge_count_re - 0.05).abs() < 1e-12);
+        assert_eq!(GraphComparison::mean(&[]), GraphComparison::default());
+    }
+}

@@ -1,0 +1,274 @@
+//! The (Fast) Chung-Lu random graph model.
+//!
+//! CL generates a graph matching a desired degree sequence in expectation by
+//! sampling both endpoints of every edge from the degree-proportional
+//! distribution π (Section 3.3). The FCL implementation keeps a pool of node
+//! ids repeated by degree so each endpoint draw is constant time; proposals
+//! that would create self-loops or duplicate edges are redrawn, which is the
+//! bias-corrected variant (cFCL) behaviour of resampling rather than silently
+//! dropping edge slots.
+//!
+//! The model optionally applies AGM acceptance probabilities to every proposal
+//! (used by AGM-DP-FCL) and optionally excludes degree-one nodes from π and
+//! wires them up afterwards with the orphan post-processing of Algorithm 2.
+
+use rand::Rng;
+use rand::RngCore;
+
+use agmdp_graph::graph::Edge;
+use agmdp_graph::{AttributeSchema, AttributedGraph};
+
+use crate::acceptance::{AcceptanceContext, StructuralModel};
+use crate::error::ModelError;
+use crate::pi::PiSampler;
+use crate::postprocess::wire_orphans;
+use crate::Result;
+
+/// Attempt multiplier: edge sampling gives up after
+/// `MAX_ATTEMPT_FACTOR * target_edges + 1000` proposals, which keeps
+/// generation total even when acceptance probabilities are very small.
+const MAX_ATTEMPT_FACTOR: usize = 200;
+
+/// Samples `target_edges` CL edges over `n` nodes into a fresh graph.
+///
+/// Returns the graph together with the edges in insertion order (TriCycLe
+/// needs the age order for its oldest-edge replacement rule).
+pub(crate) fn sample_cl_edges(
+    n: usize,
+    pi: &PiSampler,
+    target_edges: usize,
+    schema: AttributeSchema,
+    acceptance: Option<&AcceptanceContext>,
+    rng: &mut dyn RngCore,
+) -> (AttributedGraph, Vec<Edge>) {
+    let mut graph = AttributedGraph::new(n, schema);
+    let mut order = Vec::with_capacity(target_edges);
+    let max_attempts = MAX_ATTEMPT_FACTOR.saturating_mul(target_edges).saturating_add(1_000);
+    let mut attempts = 0usize;
+    while graph.num_edges() < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let u = pi.sample(rng);
+        let v = pi.sample(rng);
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        if let Some(ctx) = acceptance {
+            if !ctx.accepts(u, v, rng) {
+                continue;
+            }
+        }
+        graph.add_edge(u, v).expect("endpoints validated above");
+        order.push(Edge::new(u, v));
+    }
+    (graph, order)
+}
+
+/// The Chung-Lu / FCL structural model.
+#[derive(Debug, Clone)]
+pub struct ChungLuModel {
+    degrees: Vec<usize>,
+    target_edges: usize,
+    postprocess_orphans: bool,
+}
+
+impl ChungLuModel {
+    /// Creates a model from the desired degree sequence (`degrees[i]` is the
+    /// desired degree of node `i`). The target edge count is
+    /// `round(Σ d_i / 2)`.
+    pub fn new(degrees: Vec<usize>) -> Result<Self> {
+        let total: usize = degrees.iter().sum();
+        if degrees.is_empty() || total == 0 {
+            return Err(ModelError::InvalidDegreeSequence(
+                "degree sequence must contain a positive degree".to_string(),
+            ));
+        }
+        let target_edges = (total as f64 / 2.0).round() as usize;
+        Ok(Self { degrees, target_edges, postprocess_orphans: false })
+    }
+
+    /// Enables the orphan-node post-processing extension (Algorithm 2): the
+    /// generated graph is rewired so every node joins the main connected
+    /// component while respecting desired degrees as far as possible.
+    #[must_use]
+    pub fn with_orphan_postprocessing(mut self, enabled: bool) -> Self {
+        self.postprocess_orphans = enabled;
+        self
+    }
+
+    /// The desired degree sequence.
+    #[must_use]
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// The number of edges the model aims to generate.
+    #[must_use]
+    pub fn target_edges(&self) -> usize {
+        self.target_edges
+    }
+
+    fn generate_inner(
+        &self,
+        acceptance: Option<&AcceptanceContext>,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
+        let pi = PiSampler::from_degrees(&self.degrees)?;
+        let (mut graph, _order) =
+            sample_cl_edges(self.degrees.len(), &pi, self.target_edges, schema, acceptance, rng);
+        if let Some(ctx) = acceptance {
+            ctx.apply_attributes(&mut graph)?;
+        }
+        if self.postprocess_orphans {
+            wire_orphans(&mut graph, &self.degrees, &pi, rng);
+        }
+        Ok(graph)
+    }
+}
+
+impl StructuralModel for ChungLuModel {
+    fn num_nodes(&self) -> usize {
+        self.degrees.len()
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
+        self.generate_inner(None, rng)
+    }
+
+    fn generate_with_acceptance(
+        &self,
+        ctx: &AcceptanceContext,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        if ctx.attribute_codes.len() != self.degrees.len() {
+            return Err(ModelError::AcceptanceMismatch(format!(
+                "model has {} nodes but context has {} attribute codes",
+                self.degrees.len(),
+                ctx.attribute_codes.len()
+            )));
+        }
+        self.generate_inner(Some(ctx), rng)
+    }
+}
+
+/// Convenience: draws a uniformly random element of `slice`.
+pub(crate) fn sample_uniform<'a, T, R: Rng + ?Sized>(slice: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn power_lawish_degrees(n: usize) -> Vec<usize> {
+        (0..n).map(|i| 1 + (n / (i + 1)).min(20)).collect()
+    }
+
+    #[test]
+    fn construction_validates_degrees() {
+        assert!(ChungLuModel::new(vec![]).is_err());
+        assert!(ChungLuModel::new(vec![0, 0]).is_err());
+        let m = ChungLuModel::new(vec![2, 2, 2]).unwrap();
+        assert_eq!(m.target_edges(), 3);
+        assert_eq!(m.num_nodes(), 3);
+        assert_eq!(m.degrees(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn generates_requested_edge_count() {
+        let degrees = power_lawish_degrees(300);
+        let model = ChungLuModel::new(degrees.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = model.generate(&mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 300);
+        assert_eq!(g.num_edges(), model.target_edges());
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn expected_degrees_are_roughly_preserved() {
+        // High-degree nodes should end up with much larger degree than
+        // low-degree nodes; check rank correlation loosely.
+        let mut degrees = vec![1usize; 200];
+        degrees[0] = 60;
+        degrees[1] = 40;
+        let model = ChungLuModel::new(degrees).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d0 = 0usize;
+        let mut d_rest = 0usize;
+        for _ in 0..20 {
+            let g = model.generate(&mut rng).unwrap();
+            d0 += g.degree(0);
+            d_rest += g.degree(100);
+        }
+        assert!(d0 > 10 * d_rest.max(1), "hub degree {d0} vs leaf degree {d_rest}");
+    }
+
+    #[test]
+    fn acceptance_zero_for_config_blocks_those_edges() {
+        let schema = AttributeSchema::new(1);
+        let n = 120;
+        let degrees = vec![4usize; n];
+        // Half the nodes have attribute 0, half 1; forbid 0-0 edges entirely.
+        let codes: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 2 == 1)).collect();
+        // configs: (0,0)=0, (0,1)=1, (1,1)=2
+        let ctx = AcceptanceContext::new(codes, schema, vec![0.0, 1.0, 1.0]).unwrap();
+        let model = ChungLuModel::new(degrees).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = model.generate_with_acceptance(&ctx, &mut rng).unwrap();
+        for e in g.edges() {
+            let cfg = g.edge_config(e.u, e.v);
+            assert_ne!(cfg, 0, "edge {e:?} has forbidden configuration 0-0");
+        }
+        // Attributes must be applied to the output graph.
+        assert_eq!(g.attribute_code(1), 1);
+        assert_eq!(g.attribute_code(0), 0);
+    }
+
+    #[test]
+    fn acceptance_context_size_mismatch_is_rejected() {
+        let schema = AttributeSchema::new(1);
+        let ctx = AcceptanceContext::new(vec![0, 1], schema, vec![1.0; 3]).unwrap();
+        let model = ChungLuModel::new(vec![2, 2, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(model.generate_with_acceptance(&ctx, &mut rng).is_err());
+    }
+
+    #[test]
+    fn orphan_postprocessing_connects_the_graph() {
+        // Many degree-one nodes: plain CL would orphan a good fraction of them.
+        let mut degrees = vec![1usize; 150];
+        for d in degrees.iter_mut().take(30) {
+            *d = 8;
+        }
+        let model = ChungLuModel::new(degrees).unwrap().with_orphan_postprocessing(true);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = model.generate(&mut rng).unwrap();
+        assert!(agmdp_graph::components::is_connected(&g), "post-processed graph must be connected");
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sample_uniform_helper() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(sample_uniform::<u32, _>(&[], &mut rng).is_none());
+        let v = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(v.contains(sample_uniform(&v, &mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = ChungLuModel::new(power_lawish_degrees(100)).unwrap();
+        let g1 = model.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = model.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the structural models.
+
+use std::fmt;
+
+/// Errors produced when configuring or fitting a structural model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The desired degree sequence was unusable (empty, all zero, …).
+    InvalidDegreeSequence(String),
+    /// A model parameter was out of range.
+    InvalidParameter(String),
+    /// The acceptance-probability context did not match the model
+    /// (wrong number of attribute codes or acceptance entries).
+    AcceptanceMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDegreeSequence(msg) => {
+                write!(f, "invalid degree sequence: {msg}")
+            }
+            ModelError::InvalidParameter(msg) => write!(f, "invalid model parameter: {msg}"),
+            ModelError::AcceptanceMismatch(msg) => {
+                write!(f, "acceptance context mismatch: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(ModelError::InvalidDegreeSequence("empty".into()).to_string().contains("empty"));
+        assert!(ModelError::InvalidParameter("rho".into()).to_string().contains("rho"));
+        assert!(ModelError::AcceptanceMismatch("len".into()).to_string().contains("len"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # agmdp-models
+//!
+//! Generative structural graph models for the AGM-DP reproduction
+//! (Section 3.3 of the paper):
+//!
+//! * [`pi`] — the Chung-Lu node-sampling distribution π (probability of a node
+//!   proportional to its desired degree), implemented as the FCL repeated-id
+//!   pool so samples take constant time.
+//! * [`chung_lu`] — the Fast Chung-Lu (FCL) edge sampler, with optional
+//!   AGM acceptance probabilities.
+//! * [`tcl`] — the Transitive Chung-Lu model of Pfeiffer et al. with its
+//!   EM-estimated transitive-closure parameter ρ (used as a non-private
+//!   baseline in Figures 2–3).
+//! * [`tricycle`] — the paper's new **TriCycLe** model (Algorithm 1): a CL
+//!   seed graph refined by triangle-targeted edge rewiring.
+//! * [`postprocess`] — the orphan-node post-processing of Algorithm 2 and the
+//!   degree-one extension.
+//! * [`baselines`] — uniform-edge (Erdős–Rényi with fixed edge count) and
+//!   uniform-correlation baselines used for calibration in Section 5.2.
+//! * [`acceptance`] — the [`acceptance::StructuralModel`] trait and the
+//!   acceptance-probability context through which AGM-DP plugs the learned
+//!   attribute correlations into any structural model.
+//!
+//! All generation takes a caller-provided RNG so experiments are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptance;
+pub mod baselines;
+pub mod chung_lu;
+pub mod error;
+pub mod pi;
+pub mod postprocess;
+pub mod tcl;
+pub mod tricycle;
+
+pub use acceptance::{AcceptanceContext, StructuralModel};
+pub use chung_lu::ChungLuModel;
+pub use error::ModelError;
+pub use pi::PiSampler;
+pub use tcl::TclModel;
+pub use tricycle::TriCycLeModel;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

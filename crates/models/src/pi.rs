@@ -1,0 +1,118 @@
+//! The Chung-Lu node-sampling distribution π.
+//!
+//! In the CL model an edge endpoint is drawn with probability proportional to
+//! its desired degree, `π(i) = d_i / 2m`. The Fast Chung-Lu implementation
+//! ([28] in the paper) materialises a pool containing each node id repeated
+//! `d_i` times, so a sample is a single uniform draw from the pool.
+//!
+//! The orphan-node extension of Section 3.3 excludes degree-one nodes from π
+//! (they cannot participate in triangles and would mostly end up orphaned);
+//! [`PiSampler::from_degrees_excluding`] supports that.
+
+use rand::Rng;
+
+use agmdp_graph::NodeId;
+
+use crate::error::ModelError;
+use crate::Result;
+
+/// Constant-time sampler for the degree-proportional distribution π.
+#[derive(Debug, Clone)]
+pub struct PiSampler {
+    pool: Vec<NodeId>,
+}
+
+impl PiSampler {
+    /// Builds the sampler from desired degrees (`degrees[i]` is the desired
+    /// degree of node `i`).
+    ///
+    /// Fails if every degree is zero (the distribution would be undefined).
+    pub fn from_degrees(degrees: &[usize]) -> Result<Self> {
+        Self::from_degrees_excluding(degrees, 0)
+    }
+
+    /// Builds the sampler but excludes nodes whose desired degree is at most
+    /// `exclude_up_to` (e.g. `1` to exclude degree-one nodes, as the orphan
+    /// extension requires).
+    pub fn from_degrees_excluding(degrees: &[usize], exclude_up_to: usize) -> Result<Self> {
+        let total: usize =
+            degrees.iter().filter(|&&d| d > exclude_up_to).sum();
+        if total == 0 {
+            return Err(ModelError::InvalidDegreeSequence(
+                "no node has a positive (non-excluded) desired degree".to_string(),
+            ));
+        }
+        let mut pool = Vec::with_capacity(total);
+        for (i, &d) in degrees.iter().enumerate() {
+            if d > exclude_up_to {
+                pool.extend(std::iter::repeat_n(i as NodeId, d));
+            }
+        }
+        Ok(Self { pool })
+    }
+
+    /// Number of entries in the pool (the sum of the included degrees, i.e.
+    /// `2m` when nothing is excluded).
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Draws one node id with probability proportional to its desired degree.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        self.pool[rng.gen_range(0..self.pool.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_reflects_degrees() {
+        let s = PiSampler::from_degrees(&[2, 0, 3]).unwrap();
+        assert_eq!(s.pool_size(), 5);
+    }
+
+    #[test]
+    fn rejects_all_zero_degrees() {
+        assert!(PiSampler::from_degrees(&[0, 0]).is_err());
+        assert!(PiSampler::from_degrees(&[]).is_err());
+        assert!(PiSampler::from_degrees_excluding(&[1, 1, 1], 1).is_err());
+    }
+
+    #[test]
+    fn sampling_frequencies_match_degrees() {
+        let degrees = vec![1usize, 3, 6];
+        let s = PiSampler::from_degrees(&degrees).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        let total: usize = degrees.iter().sum();
+        for (i, &d) in degrees.iter().enumerate() {
+            let expected = d as f64 / total as f64;
+            let observed = counts[i] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "node {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_removes_low_degree_nodes() {
+        let degrees = vec![1usize, 1, 4, 5];
+        let s = PiSampler::from_degrees_excluding(&degrees, 1).unwrap();
+        assert_eq!(s.pool_size(), 9);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!(v == 2 || v == 3, "degree-one nodes must never be sampled");
+        }
+    }
+}

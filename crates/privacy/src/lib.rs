@@ -1,0 +1,59 @@
+//! # agmdp-privacy
+//!
+//! Differential-privacy mechanisms and estimators used by the AGM-DP
+//! reproduction ("Publishing Attributed Social Graphs with Formal Privacy
+//! Guarantees", SIGMOD 2016).
+//!
+//! The crate is a self-contained DP toolbox over the graph substrate:
+//!
+//! * [`laplace`] — the Laplace mechanism for scalar and vector queries
+//!   (Section 2.3 of the paper), with inverse-CDF sampling on top of `rand`.
+//! * [`postprocess`] — the clamp-and-normalise post-processing that Algorithms
+//!   4 and 5 apply to noisy counts (post-processing does not affect privacy).
+//! * [`exponential`] — the exponential mechanism of McSherry & Talwar, needed
+//!   by the Ladder framework.
+//! * [`budget`] — ε bookkeeping: sequential composition and the budget splits
+//!   used by AGM-DP (Section 4).
+//! * [`smooth`] — smooth sensitivity upper bounds (Nissim et al.), including
+//!   the closed form for the attribute–edge correlation query `Q_F`
+//!   (Proposition 4 / Corollaries 5–6) and the generic
+//!   "local sensitivity at distance t" maximiser.
+//! * [`sample_aggregate`] — the sample-and-aggregate estimator of Appendix B.2.
+//! * [`constrained_inference`] — Hay et al.'s constrained-inference estimator
+//!   for sorted degree sequences (isotonic regression / PAVA in linear time),
+//!   Appendix C.3.1.
+//! * [`ladder`] — the Ladder framework of Zhang et al. for differentially
+//!   private triangle counting, Appendix C.3.2.
+//!
+//! All mechanisms draw randomness from a caller-provided [`rand::Rng`], so
+//! every experiment in the repository is reproducible from a seed.
+//!
+//! ```
+//! use agmdp_privacy::laplace::LaplaceMechanism;
+//! use rand::SeedableRng;
+//!
+//! let mech = LaplaceMechanism::new(1.0, 2.0).unwrap(); // ε = 1, sensitivity 2
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let noisy = mech.randomize(10.0, &mut rng);
+//! assert!(noisy.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod constrained_inference;
+pub mod error;
+pub mod exponential;
+pub mod ladder;
+pub mod laplace;
+pub mod postprocess;
+pub mod sample_aggregate;
+pub mod smooth;
+
+pub use budget::{BudgetSplit, PrivacyBudget};
+pub use error::PrivacyError;
+pub use laplace::{sample_laplace, LaplaceMechanism};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, PrivacyError>;

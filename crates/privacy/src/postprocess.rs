@@ -1,0 +1,80 @@
+//! Post-processing of noisy counts.
+//!
+//! Algorithms 4 and 5 of the paper clamp each noisy count to the range
+//! `(0, n)` and then divide by the sum to obtain a probability distribution.
+//! Post-processing of differentially private outputs never weakens the privacy
+//! guarantee, so these helpers carry no ε cost.
+
+/// Clamps every value into `[lo, hi]`.
+#[must_use]
+pub fn clamp_counts(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    values.iter().map(|&v| v.clamp(lo, hi)).collect()
+}
+
+/// Normalises non-negative values into a probability distribution.
+///
+/// If the sum is zero (e.g. every noisy count clamped to zero), the uniform
+/// distribution is returned so downstream samplers never divide by zero; this
+/// mirrors the fallback any practical implementation of the paper needs.
+#[must_use]
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let sum: f64 = values.iter().map(|&v| v.max(0.0)).sum();
+    if sum <= 0.0 {
+        return vec![1.0 / values.len() as f64; values.len()];
+    }
+    values.iter().map(|&v| v.max(0.0) / sum).collect()
+}
+
+/// Convenience composition used by Algorithms 4 and 5: clamp noisy counts to
+/// `(0, max_count)` and normalise them into a distribution.
+#[must_use]
+pub fn clamp_and_normalize(values: &[f64], max_count: f64) -> Vec<f64> {
+    normalize(&clamp_counts(values, 0.0, max_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_limits_range() {
+        let v = clamp_counts(&[-3.0, 0.5, 7.0], 0.0, 5.0);
+        assert_eq!(v, vec![0.0, 0.5, 5.0]);
+    }
+
+    #[test]
+    fn normalize_produces_distribution() {
+        let p = normalize(&[1.0, 3.0]);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_all_zero_and_negative() {
+        let p = normalize(&[0.0, 0.0, 0.0]);
+        assert_eq!(p, vec![1.0 / 3.0; 3]);
+        let q = normalize(&[-1.0, -5.0]);
+        assert_eq!(q, vec![0.5, 0.5]);
+        // Negative entries are treated as zero mass.
+        let r = normalize(&[-1.0, 1.0]);
+        assert_eq!(r, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn clamp_and_normalize_composes() {
+        let p = clamp_and_normalize(&[-2.0, 5.0, 50.0], 10.0);
+        assert_eq!(p[0], 0.0);
+        assert!((p[1] - 5.0 / 15.0).abs() < 1e-12);
+        assert!((p[2] - 10.0 / 15.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

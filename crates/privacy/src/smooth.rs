@@ -1,0 +1,227 @@
+//! Smooth sensitivity (Nissim, Raskhodnikova & Smith), specialised for the
+//! attribute–edge correlation query `Q_F` (Appendix B.1 of the paper).
+//!
+//! The β-smooth sensitivity of a function `f` at input `D` is
+//! `S*_{f,β}(D) = max_t e^{−tβ} · LS^t_f(D)`, where `LS^t_f(D)` is the largest
+//! local sensitivity over all inputs within distance `t` of `D`. Adding
+//! Laplace noise of scale `2 S*_{f,β}(D) / ε` with `β = ε / (2 ln(2/δ))`
+//! satisfies (ε, δ)-differential privacy.
+//!
+//! For `Q_F` the paper derives (Proposition 4):
+//! `S*_{Q_F,β}(G) = max_t e^{−tβ} · min(2 d_max + 2t, 2n − 2)`,
+//! with the closed form of Corollary 5. This module implements that closed
+//! form, a generic maximiser for other local-sensitivity-at-distance profiles
+//! (used by the node-DP extension in `agmdp-core`), and the corresponding
+//! (ε, δ) noise-addition mechanism.
+
+use rand::Rng;
+
+use crate::error::PrivacyError;
+use crate::laplace::sample_laplace;
+use crate::Result;
+
+/// The smooth-sensitivity parameter `β = ε / (2 ln(2/δ))` used with
+/// Laplace noise (Nissim et al., Lemma 2.6 / the paper's Section 2.3).
+pub fn beta(epsilon: f64, delta: f64) -> Result<f64> {
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(PrivacyError::InvalidEpsilon(epsilon));
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(PrivacyError::InvalidDelta(delta));
+    }
+    Ok(epsilon / (2.0 * (2.0 / delta).ln()))
+}
+
+/// Closed-form β-smooth sensitivity of `Q_F` (Corollary 5).
+///
+/// * `d_max` — maximum degree of the input graph.
+/// * `n` — number of nodes.
+/// * `beta` — the smoothing parameter.
+///
+/// The local sensitivity at distance `t` is `min(2 d_max + 2t, 2n − 2)`; the
+/// maximiser of `e^{−tβ}(2 d_max + 2t)` over real `t ≥ 0` is
+/// `t* = 1/β − d_max`, giving `2 d_max` when `d_max ≥ 1/β` and
+/// `(2/β) e^{β d_max − 1}` otherwise, always capped by `2n − 2`.
+#[must_use]
+pub fn smooth_sensitivity_qf(d_max: usize, n: usize, beta: f64) -> f64 {
+    let d_max = d_max as f64;
+    let cap = (2.0 * n as f64 - 2.0).max(0.0);
+    if cap == 0.0 {
+        return 0.0;
+    }
+    let unsaturated = if beta <= 0.0 {
+        cap
+    } else if d_max >= 1.0 / beta {
+        2.0 * d_max
+    } else {
+        (2.0 / beta) * (beta * d_max - 1.0).exp()
+    };
+    unsaturated.min(cap).max(2.0 * d_max.min(cap / 2.0))
+}
+
+/// Generic smooth-sensitivity maximiser: `max_{0 <= t <= t_max} e^{−tβ} · ls(t)`.
+///
+/// `ls` must be a non-decreasing local-sensitivity-at-distance profile; the
+/// caller chooses `t_max` as the distance at which the profile saturates
+/// (beyond saturation the exponential decay only shrinks the product, so the
+/// maximum over all `t` equals the maximum over `0..=t_max`).
+#[must_use]
+pub fn smooth_bound<F>(ls_at_distance: F, beta: f64, t_max: usize) -> f64
+where
+    F: Fn(usize) -> f64,
+{
+    let mut best: f64 = 0.0;
+    for t in 0..=t_max {
+        let v = (-(t as f64) * beta).exp() * ls_at_distance(t);
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// An (ε, δ)-DP mechanism that adds Laplace noise calibrated to a smooth
+/// sensitivity bound: scale `2 S* / ε`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothLaplaceMechanism {
+    epsilon: f64,
+    delta: f64,
+    smooth_sensitivity: f64,
+}
+
+impl SmoothLaplaceMechanism {
+    /// Creates the mechanism from ε, δ and a β-smooth sensitivity bound
+    /// (computed with `β = beta(ε, δ)`).
+    pub fn new(epsilon: f64, delta: f64, smooth_sensitivity: f64) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(PrivacyError::InvalidEpsilon(epsilon));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(PrivacyError::InvalidDelta(delta));
+        }
+        if !(smooth_sensitivity.is_finite() && smooth_sensitivity > 0.0) {
+            return Err(PrivacyError::InvalidSensitivity(smooth_sensitivity));
+        }
+        Ok(Self { epsilon, delta, smooth_sensitivity })
+    }
+
+    /// ε of the (ε, δ) guarantee.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// δ of the (ε, δ) guarantee.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The Laplace scale `2 S* / ε` that will be used.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        2.0 * self.smooth_sensitivity / self.epsilon
+    }
+
+    /// Adds noise to a scalar.
+    pub fn randomize<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + sample_laplace(rng, self.scale())
+    }
+
+    /// Adds independent noise to every element of a vector (the smooth
+    /// sensitivity must bound the whole vector's L1 local sensitivity, as it
+    /// does for `Q_F`).
+    pub fn randomize_vec<R: Rng + ?Sized>(&self, values: &[f64], rng: &mut R) -> Vec<f64> {
+        values.iter().map(|&v| self.randomize(v, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_formula_and_validation() {
+        let b = beta(1.0, 0.01).unwrap();
+        assert!((b - 1.0 / (2.0 * (200.0f64).ln())).abs() < 1e-12);
+        assert!(beta(0.0, 0.1).is_err());
+        assert!(beta(1.0, 0.0).is_err());
+        assert!(beta(1.0, 1.0).is_err());
+        assert!(beta(1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn qf_smooth_sensitivity_high_degree_regime() {
+        // When d_max >= 1/beta the maximum is at t = 0: S* = 2 d_max.
+        let b = 0.1;
+        assert!((smooth_sensitivity_qf(20, 1_000, b) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qf_smooth_sensitivity_low_degree_regime() {
+        // d_max < 1/beta: S* = (2/beta) e^{beta*d_max - 1} > 2 d_max.
+        let b = 0.01;
+        let d_max = 10;
+        let expected = (2.0 / b) * (b * 10.0 - 1.0f64).exp();
+        let got = smooth_sensitivity_qf(d_max, 100_000, b);
+        assert!((got - expected).abs() < 1e-9);
+        assert!(got > 2.0 * d_max as f64);
+    }
+
+    #[test]
+    fn qf_smooth_sensitivity_is_capped_by_2n_minus_2() {
+        let got = smooth_sensitivity_qf(10, 12, 1e-6);
+        assert!(got <= 2.0 * 12.0 - 2.0 + 1e-9);
+        // Degenerate graphs.
+        assert_eq!(smooth_sensitivity_qf(0, 0, 0.1), 0.0);
+        assert_eq!(smooth_sensitivity_qf(0, 1, 0.1), 0.0);
+    }
+
+    #[test]
+    fn qf_smooth_sensitivity_at_least_local_sensitivity() {
+        // S* must never be below the true local sensitivity 2*d_max (capped).
+        for &(d, n) in &[(5usize, 100usize), (50, 100), (99, 100), (1, 2)] {
+            for &b in &[0.001, 0.05, 0.5, 5.0] {
+                let s = smooth_sensitivity_qf(d, n, b);
+                let ls = (2.0 * d as f64).min(2.0 * n as f64 - 2.0);
+                assert!(s + 1e-9 >= ls, "S*={s} < LS={ls} for d={d}, n={n}, beta={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_smooth_bound_matches_closed_form() {
+        let d_max = 7usize;
+        let n = 5_000usize;
+        let b = 0.02;
+        let ls = |t: usize| (2.0 * d_max as f64 + 2.0 * t as f64).min(2.0 * n as f64 - 2.0);
+        let generic = smooth_bound(ls, b, n);
+        let closed = smooth_sensitivity_qf(d_max, n, b);
+        // The generic bound maximises over integers only, so it can be at most
+        // slightly below the real-valued closed form.
+        assert!(generic <= closed + 1e-9);
+        assert!((generic - closed).abs() / closed < 0.02);
+    }
+
+    #[test]
+    fn mechanism_validation_and_scale() {
+        assert!(SmoothLaplaceMechanism::new(1.0, 0.01, 10.0).is_ok());
+        assert!(SmoothLaplaceMechanism::new(0.0, 0.01, 10.0).is_err());
+        assert!(SmoothLaplaceMechanism::new(1.0, 0.0, 10.0).is_err());
+        assert!(SmoothLaplaceMechanism::new(1.0, 0.01, 0.0).is_err());
+        let m = SmoothLaplaceMechanism::new(0.5, 0.01, 10.0).unwrap();
+        assert!((m.scale() - 40.0).abs() < 1e-12);
+        assert_eq!(m.epsilon(), 0.5);
+        assert_eq!(m.delta(), 0.01);
+    }
+
+    #[test]
+    fn mechanism_noise_is_seed_deterministic() {
+        let m = SmoothLaplaceMechanism::new(1.0, 0.01, 5.0).unwrap();
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        assert_eq!(m.randomize_vec(&[1.0, 2.0], &mut r1), m.randomize_vec(&[1.0, 2.0], &mut r2));
+    }
+}

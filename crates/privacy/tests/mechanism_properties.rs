@@ -1,0 +1,169 @@
+//! Property-based tests for the DP mechanisms: calibration, post-processing
+//! and estimator invariants.
+
+use agmdp_privacy::budget::{BudgetSplit, PrivacyBudget};
+use agmdp_privacy::constrained_inference::{dp_degree_sequence, isotonic_regression};
+use agmdp_privacy::exponential::exponential_mechanism;
+use agmdp_privacy::ladder::{dp_triangle_count, triangle_local_sensitivity};
+use agmdp_privacy::laplace::{sample_laplace, LaplaceMechanism};
+use agmdp_privacy::postprocess::{clamp_and_normalize, normalize};
+use agmdp_privacy::sample_aggregate::sample_and_aggregate_distribution;
+use agmdp_privacy::smooth::{beta, smooth_bound, smooth_sensitivity_qf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Laplace samples are finite and symmetric around zero in aggregate.
+    #[test]
+    fn laplace_samples_are_finite(scale in 0.01f64..100.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = sample_laplace(&mut rng, scale);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// Mechanism construction accepts exactly the valid parameter space.
+    #[test]
+    fn laplace_mechanism_validation(eps in -5.0f64..5.0, sens in -5.0f64..5.0) {
+        let result = LaplaceMechanism::new(eps, sens);
+        let should_ok = eps > 0.0 && sens > 0.0;
+        prop_assert_eq!(result.is_ok(), should_ok);
+        if let Ok(m) = result {
+            prop_assert!((m.scale() - sens / eps).abs() < 1e-12);
+        }
+    }
+
+    /// normalise always returns a probability distribution of the same length.
+    #[test]
+    fn normalize_is_a_distribution(values in proptest::collection::vec(-10.0f64..10.0, 1..40)) {
+        let p = normalize(&values);
+        prop_assert_eq!(p.len(), values.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        let q = clamp_and_normalize(&values, 5.0);
+        prop_assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// The budget accountant never lets total spending exceed the budget.
+    #[test]
+    fn budget_accounting_never_overspends(
+        total in 0.05f64..5.0,
+        spends in proptest::collection::vec(0.01f64..1.0, 1..20),
+    ) {
+        let mut budget = PrivacyBudget::new(total).unwrap();
+        for s in spends {
+            let _ = budget.spend(s);
+            prop_assert!(budget.spent() <= budget.total() + 1e-6);
+            prop_assert!(budget.remaining() >= -1e-9);
+        }
+    }
+
+    /// Budget splits always sum to the requested ε.
+    #[test]
+    fn budget_splits_sum_to_total(eps in 0.01f64..10.0) {
+        let t = BudgetSplit::even_tricycle(eps).unwrap();
+        prop_assert!((t.total() - eps).abs() < 1e-9);
+        let f = BudgetSplit::fcl(eps).unwrap();
+        prop_assert!((f.total() - eps).abs() < 1e-9);
+        prop_assert!(f.structural() >= t.structural() - 1e-9);
+    }
+
+    /// The exponential mechanism always returns a valid index.
+    #[test]
+    fn exponential_mechanism_index_in_range(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        eps in 0.01f64..10.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = exponential_mechanism(&scores, eps, 1.0, &mut rng).unwrap();
+        prop_assert!(idx < scores.len());
+    }
+
+    /// Isotonic regression is idempotent and monotone.
+    #[test]
+    fn isotonic_regression_idempotent(values in proptest::collection::vec(-20.0f64..20.0, 1..50)) {
+        let once = isotonic_regression(&values);
+        let twice = isotonic_regression(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for w in once.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    /// The DP degree sequence is always sorted, in range, and length-preserving.
+    #[test]
+    fn dp_degree_sequence_shape(
+        degrees in proptest::collection::vec(0usize..30, 2..60),
+        eps in 0.05f64..5.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = dp_degree_sequence(&degrees, eps, &mut rng).unwrap();
+        prop_assert_eq!(out.len(), degrees.len());
+        for w in out.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(out.iter().all(|&d| d < degrees.len()));
+    }
+
+    /// The smooth-sensitivity closed form dominates the local sensitivity and
+    /// agrees with the generic maximiser.
+    #[test]
+    fn smooth_sensitivity_dominance(d_max in 0usize..200, n in 2usize..5000, eps in 0.05f64..5.0) {
+        let d_max = d_max.min(n - 1);
+        let b = beta(eps, 0.01).unwrap();
+        let closed = smooth_sensitivity_qf(d_max, n, b);
+        let ls0 = (2.0 * d_max as f64).min(2.0 * n as f64 - 2.0);
+        prop_assert!(closed + 1e-9 >= ls0);
+        let cap = 2.0 * n as f64 - 2.0;
+        prop_assert!(closed <= cap + 1e-9);
+        let generic = smooth_bound(|t| (2.0 * d_max as f64 + 2.0 * t as f64).min(cap), b, n);
+        prop_assert!(generic <= closed + 1e-9);
+    }
+
+    /// Sample-and-aggregate outputs a distribution whatever the group inputs.
+    #[test]
+    fn sample_aggregate_outputs_distribution(
+        groups in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 5), 1..20),
+        eps in 0.05f64..5.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = sample_and_aggregate_distribution(&groups, eps, &mut rng).unwrap();
+        prop_assert_eq!(out.len(), 5);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+/// The Ladder mechanism's local sensitivity and estimates behave sanely on
+/// random graphs (non-proptest because graph construction is heavier).
+#[test]
+fn ladder_estimates_are_nonnegative_and_bounded_on_random_graphs() {
+    use agmdp_graph::AttributedGraph;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..10 {
+        let n = 20 + trial * 5;
+        let mut g = AttributedGraph::unattributed(n);
+        for _ in 0..3 * n {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                let _ = g.try_add_edge(u, v).unwrap();
+            }
+        }
+        let ls = triangle_local_sensitivity(&g);
+        assert!(ls <= n - 2);
+        let out = dp_triangle_count(&g, 1.0, &mut rng).unwrap();
+        assert!(out.estimate >= 0.0);
+        assert!(out.estimate.is_finite());
+        assert_eq!(out.local_sensitivity, ls);
+    }
+}

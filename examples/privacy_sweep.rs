@@ -1,0 +1,77 @@
+//! Privacy sweep: the utility of AGM-DP synthetic graphs as the privacy budget
+//! ε shrinks, comparing the TriCycLe and FCL structural models.
+//!
+//! This is a miniature, single-dataset version of the paper's Tables 2–5.
+//!
+//! ```text
+//! cargo run --release --example privacy_sweep
+//! ```
+
+use agmdp::core::ThetaF;
+use agmdp::metrics::distance::{hellinger_distance, mean_relative_error};
+use agmdp::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = DatasetSpec::lastfm().scaled(0.5);
+    let input = generate_dataset(&spec, 11).expect("dataset generation succeeds");
+    let truth_f = ThetaF::from_graph(&input);
+    println!(
+        "input ({}): {} nodes, {} edges, {} triangles",
+        spec.name,
+        input.num_nodes(),
+        input.num_edges(),
+        agmdp::graph::triangles::count_triangles(&input)
+    );
+    println!();
+    println!(
+        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "epsilon", "model", "ThetaF", "H_F", "KS_S", "H_S", "tri RE", "m RE"
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let trials = 3usize;
+    let settings: Vec<(String, Privacy)> = vec![
+        ("non-private".to_string(), Privacy::NonPrivate),
+        ("ln 3".to_string(), Privacy::Dp { epsilon: 3f64.ln() }),
+        ("ln 2".to_string(), Privacy::Dp { epsilon: 2f64.ln() }),
+        ("0.3".to_string(), Privacy::Dp { epsilon: 0.3 }),
+        ("0.2".to_string(), Privacy::Dp { epsilon: 0.2 }),
+    ];
+
+    for (label, privacy) in settings {
+        for (model, name) in
+            [(StructuralModelKind::Fcl, "AGM-FCL"), (StructuralModelKind::TriCycLe, "AGM-TriCL")]
+        {
+            let config = AgmConfig { privacy, model, ..AgmConfig::default() };
+            let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+            for _ in 0..trials {
+                let synth = synthesize(&input, &config, &mut rng).expect("synthesis succeeds");
+                let report = GraphComparison::compare(&input, &synth);
+                let achieved_f = ThetaF::from_graph(&synth);
+                acc.0 += mean_relative_error(truth_f.probabilities(), achieved_f.probabilities());
+                acc.1 += hellinger_distance(truth_f.probabilities(), achieved_f.probabilities());
+                acc.2 += report.ks_degree;
+                acc.3 += report.hellinger_degree;
+                acc.4 += report.triangle_count_re;
+                acc.5 += report.edge_count_re;
+            }
+            let t = trials as f64;
+            println!(
+                "{:<12} {:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.4}",
+                label,
+                name,
+                acc.0 / t,
+                acc.1 / t,
+                acc.2 / t,
+                acc.3 / t,
+                acc.4 / t,
+                acc.5 / t
+            );
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper, Tables 2-5): errors grow as epsilon shrinks; the TriCycLe");
+    println!("rows keep the triangle-count error far below the FCL rows at every privacy level.");
+}

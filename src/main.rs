@@ -1,0 +1,200 @@
+//! `agmdp` — command-line interface for the AGM-DP workflow.
+//!
+//! Subcommands:
+//!
+//! * `stats <graph>` — print the structural and attribute statistics of a
+//!   graph in the text interchange format.
+//! * `synthesize --input <graph> --output <graph> --epsilon <ε> [options]` —
+//!   run the end-to-end AGM-DP pipeline and write a publishable synthetic
+//!   graph.
+//! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
+//!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
+//!
+//! Run `agmdp help` for the full usage text.
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+
+use agmdp::core::correlations_dp::CorrelationMethod;
+use agmdp::core::workflow::{synthesize, AgmConfig, Privacy, StructuralModelKind};
+use agmdp::core::{ThetaF, ThetaX};
+use agmdp::datasets::{generate_dataset, DatasetSpec};
+use agmdp::graph::clustering::{average_local_clustering, global_clustering};
+use agmdp::graph::components::connected_components;
+use agmdp::graph::triangles::count_triangles;
+use agmdp::graph::{io, AttributedGraph};
+use agmdp::metrics::GraphComparison;
+
+const USAGE: &str = "\
+agmdp — differentially private synthesis of attributed social graphs
+
+USAGE:
+    agmdp stats <graph-file>
+    agmdp synthesize --input <graph> --output <graph> --epsilon <e>
+                     [--model fcl|tricycle] [--method truncation|smooth|sample-aggregate|naive]
+                     [--k <truncation-k>] [--iterations <n>] [--seed <s>] [--non-private]
+    agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
+                     [--scale <0..1>] [--seed <s>]
+    agmdp help
+
+The graph file format is the line-oriented text format documented in
+`agmdp::graph::io` (nodes/attr/edge records).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("synthesize") => cmd_synthesize(&args[1..]),
+        Some("generate-dataset") => cmd_generate_dataset(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn print_stats(graph: &AttributedGraph) {
+    let comps = connected_components(graph);
+    println!("nodes               : {}", graph.num_nodes());
+    println!("edges               : {}", graph.num_edges());
+    println!("attribute width (w) : {}", graph.schema().width());
+    println!("max degree          : {}", graph.max_degree());
+    println!("avg degree          : {:.2}", graph.avg_degree());
+    println!("triangles           : {}", count_triangles(graph));
+    println!("avg local clustering: {:.4}", average_local_clustering(graph));
+    println!("global clustering   : {:.4}", global_clustering(graph));
+    println!("connected components: {}", comps.count());
+    if graph.schema().width() > 0 {
+        let tx = ThetaX::from_graph(graph);
+        let tf = ThetaF::from_graph(graph);
+        println!("Theta_X             : {:?}", round3(tx.probabilities()));
+        println!("Theta_F             : {:?}", round3(tf.probabilities()));
+    }
+}
+
+fn round3(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats requires a graph file argument")?;
+    let graph = io::read_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    println!("graph: {path}");
+    print_stats(&graph);
+    Ok(())
+}
+
+fn cmd_synthesize(args: &[String]) -> Result<(), String> {
+    let input = flag_value(args, "--input").ok_or("--input <graph> is required")?;
+    let output = flag_value(args, "--output").ok_or("--output <graph> is required")?;
+    let non_private = has_flag(args, "--non-private");
+    let privacy = if non_private {
+        Privacy::NonPrivate
+    } else {
+        let epsilon: f64 = flag_value(args, "--epsilon")
+            .ok_or("--epsilon <e> is required (or pass --non-private)")?
+            .parse()
+            .map_err(|_| "--epsilon must be a number")?;
+        Privacy::Dp { epsilon }
+    };
+    let model = match flag_value(args, "--model").as_deref() {
+        None | Some("tricycle") => StructuralModelKind::TriCycLe,
+        Some("fcl") => StructuralModelKind::Fcl,
+        Some(other) => return Err(format!("unknown model '{other}' (expected fcl or tricycle)")),
+    };
+    let k = match flag_value(args, "--k") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|_| "--k must be a positive integer")?),
+    };
+    let correlation_method = match flag_value(args, "--method").as_deref() {
+        None | Some("truncation") => CorrelationMethod::EdgeTruncation { k },
+        Some("smooth") => CorrelationMethod::SmoothSensitivity { delta: 1e-6 },
+        Some("sample-aggregate") => CorrelationMethod::SampleAggregate {
+            group_size: k.unwrap_or(32).max(2),
+        },
+        Some("naive") => CorrelationMethod::NaiveLaplace,
+        Some(other) => return Err(format!("unknown correlation method '{other}'")),
+    };
+    let refinement_iterations = match flag_value(args, "--iterations") {
+        None => 3,
+        Some(v) => v.parse().map_err(|_| "--iterations must be a positive integer")?,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        None => 2016,
+        Some(v) => v.parse().map_err(|_| "--seed must be an integer")?,
+    };
+
+    let graph = io::read_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
+    let config = AgmConfig {
+        privacy,
+        model,
+        correlation_method,
+        refinement_iterations,
+        orphan_postprocessing: true,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let synthetic =
+        synthesize(&graph, &config, &mut rng).map_err(|e| format!("synthesis failed: {e}"))?;
+    io::write_file(&synthetic, &output).map_err(|e| format!("failed to write {output}: {e}"))?;
+
+    println!("input  ({input}):");
+    print_stats(&graph);
+    println!("\nsynthetic ({output}):");
+    print_stats(&synthetic);
+    let report = GraphComparison::compare(&graph, &synthetic);
+    println!("\nfidelity: KS(degree) = {:.3}, H(degree) = {:.3}, triangle RE = {:.3}, clustering RE = {:.3}, m RE = {:.4}",
+        report.ks_degree,
+        report.hellinger_degree,
+        report.triangle_count_re,
+        report.avg_clustering_re,
+        report.edge_count_re,
+    );
+    match config.privacy {
+        Privacy::NonPrivate => println!("privacy: non-private (exact parameters)"),
+        Privacy::Dp { epsilon } => println!("privacy: {epsilon}-differential privacy"),
+    }
+    Ok(())
+}
+
+fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--name").ok_or("--name <dataset> is required")?;
+    let output = flag_value(args, "--output").ok_or("--output <graph> is required")?;
+    let scale: f64 = match flag_value(args, "--scale") {
+        None => 1.0,
+        Some(v) => v.parse().map_err(|_| "--scale must be a number in (0, 1]")?,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        None => 2016,
+        Some(v) => v.parse().map_err(|_| "--seed must be an integer")?,
+    };
+    let spec = match name.as_str() {
+        "lastfm" => DatasetSpec::lastfm(),
+        "petster" => DatasetSpec::petster(),
+        "epinions" => DatasetSpec::epinions(),
+        "pokec" => DatasetSpec::pokec(),
+        other => return Err(format!("unknown dataset '{other}'")),
+    }
+    .scaled(scale);
+    let graph =
+        generate_dataset(&spec, seed).map_err(|e| format!("dataset generation failed: {e}"))?;
+    io::write_file(&graph, &output).map_err(|e| format!("failed to write {output}: {e}"))?;
+    println!("wrote {} ({} nodes, {} edges) to {output}", spec.name, graph.num_nodes(), graph.num_edges());
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full AGM-DP pipeline from dataset
+//! generation through private learning, synthesis, evaluation and I/O.
+
+use agmdp::core::correlations_dp::CorrelationMethod;
+use agmdp::core::ThetaF;
+use agmdp::graph::clustering::average_local_clustering;
+use agmdp::graph::components::is_connected;
+use agmdp::graph::triangles::count_triangles;
+use agmdp::metrics::distance::hellinger_distance;
+use agmdp::prelude::*;
+use rand::SeedableRng;
+
+type Rng = rand::rngs::StdRng;
+
+fn small_input() -> AttributedGraph {
+    generate_dataset(&DatasetSpec::lastfm().scaled(0.15), 2024).expect("dataset generation")
+}
+
+#[test]
+fn full_pipeline_produces_a_publishable_graph() {
+    let input = small_input();
+    let config = AgmConfig {
+        privacy: Privacy::Dp { epsilon: 1.0 },
+        model: StructuralModelKind::TriCycLe,
+        ..AgmConfig::default()
+    };
+    let mut rng = Rng::seed_from_u64(1);
+    let synthetic = synthesize(&input, &config, &mut rng).expect("synthesis");
+
+    // Same node universe and schema, structurally plausible.
+    assert_eq!(synthetic.num_nodes(), input.num_nodes());
+    assert_eq!(synthetic.schema(), input.schema());
+    assert!(synthetic.num_edges() > 0);
+    assert!(is_connected(&synthetic), "orphan post-processing must leave the graph connected");
+    synthetic.check_consistency().expect("internal invariants");
+
+    // The synthetic graph must not simply copy the input's edge set.
+    let input_edges: std::collections::BTreeSet<_> =
+        input.edges().map(|e| (e.u, e.v)).collect();
+    let shared = synthetic.edges().filter(|e| input_edges.contains(&(e.u, e.v))).count();
+    assert!(
+        (shared as f64) < 0.9 * input.num_edges() as f64,
+        "synthetic graph shares {shared} of {} input edges — too close to a copy",
+        input.num_edges()
+    );
+
+    // Round-trip through the text format.
+    let dir = std::env::temp_dir().join("agmdp_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("synthetic.graph");
+    agmdp::graph::io::write_file(&synthetic, &path).expect("write");
+    let reloaded = agmdp::graph::io::read_file(&path).expect("read");
+    assert_eq!(reloaded.num_edges(), synthetic.num_edges());
+    assert_eq!(reloaded.attribute_codes(), synthetic.attribute_codes());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn non_private_mode_is_more_faithful_than_strong_privacy() {
+    let input = small_input();
+    let mut rng = Rng::seed_from_u64(2);
+    let trials = 3;
+
+    let mean_hellinger = |privacy: Privacy, rng: &mut Rng| {
+        let config =
+            AgmConfig { privacy, model: StructuralModelKind::TriCycLe, ..AgmConfig::default() };
+        let truth = ThetaF::from_graph(&input);
+        (0..trials)
+            .map(|_| {
+                let synth = synthesize(&input, &config, rng).expect("synthesis");
+                let achieved = ThetaF::from_graph(&synth);
+                hellinger_distance(truth.probabilities(), achieved.probabilities())
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+
+    let non_private = mean_hellinger(Privacy::NonPrivate, &mut rng);
+    let strong = mean_hellinger(Privacy::Dp { epsilon: 0.1 }, &mut rng);
+    assert!(
+        non_private <= strong + 0.05,
+        "non-private correlations (H = {non_private}) should not be worse than eps = 0.1 (H = {strong})"
+    );
+}
+
+#[test]
+fn both_structural_models_work_with_every_correlation_method() {
+    let input = agmdp::datasets::toy_social_graph();
+    let mut rng = Rng::seed_from_u64(3);
+    for model in [StructuralModelKind::Fcl, StructuralModelKind::TriCycLe] {
+        for method in [
+            CorrelationMethod::EdgeTruncation { k: None },
+            CorrelationMethod::SmoothSensitivity { delta: 0.01 },
+            CorrelationMethod::SampleAggregate { group_size: 10 },
+            CorrelationMethod::NaiveLaplace,
+        ] {
+            let config = AgmConfig {
+                privacy: Privacy::Dp { epsilon: 1.0 },
+                model,
+                correlation_method: method,
+                ..AgmConfig::default()
+            };
+            let synth = synthesize(&input, &config, &mut rng)
+                .unwrap_or_else(|e| panic!("{model:?} + {method:?} failed: {e}"));
+            assert_eq!(synth.num_nodes(), input.num_nodes());
+            assert!(synth.num_edges() > 0);
+        }
+    }
+}
+
+#[test]
+fn tricycle_preserves_clustering_far_better_than_fcl_under_dp() {
+    let input = small_input();
+    let mut rng = Rng::seed_from_u64(4);
+    let epsilon = 1.0;
+    let clustering_error = |model: StructuralModelKind, rng: &mut Rng| {
+        let config =
+            AgmConfig { privacy: Privacy::Dp { epsilon }, model, ..AgmConfig::default() };
+        let synth = synthesize(&input, &config, rng).expect("synthesis");
+        let truth = average_local_clustering(&input);
+        (average_local_clustering(&synth) - truth).abs() / truth
+    };
+    let fcl_err = clustering_error(StructuralModelKind::Fcl, &mut rng);
+    let tri_err = clustering_error(StructuralModelKind::TriCycLe, &mut rng);
+    assert!(
+        tri_err < fcl_err,
+        "TriCycLe clustering error {tri_err} should beat FCL {fcl_err} (paper Tables 2-5)"
+    );
+}
+
+#[test]
+fn learned_parameters_expose_consistent_dimensions() {
+    let input = small_input();
+    let config = AgmConfig { privacy: Privacy::Dp { epsilon: 0.5 }, ..AgmConfig::default() };
+    let mut rng = Rng::seed_from_u64(5);
+    let params = agmdp::core::workflow::learn_parameters(&input, &config, &mut rng).unwrap();
+    assert_eq!(params.num_nodes, input.num_nodes());
+    assert_eq!(params.theta_x.probabilities().len(), 4);
+    assert_eq!(params.theta_f.probabilities().len(), 10);
+    assert_eq!(params.theta_m.degree_sequence.len(), input.num_nodes());
+    assert!(params.theta_m.triangles.is_some());
+    // Both distributions are normalised.
+    assert!((params.theta_x.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!((params.theta_f.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn synthetic_triangle_count_tracks_the_dp_estimate() {
+    let input = small_input();
+    let true_triangles = count_triangles(&input) as f64;
+    let config = AgmConfig {
+        privacy: Privacy::Dp { epsilon: 2.0 },
+        model: StructuralModelKind::TriCycLe,
+        ..AgmConfig::default()
+    };
+    let mut rng = Rng::seed_from_u64(6);
+    let synth = synthesize(&input, &config, &mut rng).unwrap();
+    let got = count_triangles(&synth) as f64;
+    assert!(
+        (got - true_triangles).abs() / true_triangles < 0.6,
+        "triangles {got} too far from input {true_triangles}"
+    );
+}
