@@ -49,7 +49,10 @@ fn experiment_benches(c: &mut Criterion) {
                 &mut rng,
             )
             .unwrap();
-            black_box(mean_absolute_error(truth_f.probabilities(), est.probabilities()))
+            black_box(mean_absolute_error(
+                truth_f.probabilities(),
+                est.probabilities(),
+            ))
         });
     });
     fig1.finish();
@@ -80,16 +83,23 @@ fn experiment_benches(c: &mut Criterion) {
     let mut fig5 = c.benchmark_group("fig5_theta_f_estimators");
     fig5.sample_size(10);
     for (label, method) in [
-        ("edge_truncation", CorrelationMethod::EdgeTruncation { k: None }),
-        ("smooth_sensitivity", CorrelationMethod::SmoothSensitivity { delta: 1e-6 }),
-        ("sample_aggregate", CorrelationMethod::SampleAggregate { group_size: 32 }),
+        (
+            "edge_truncation",
+            CorrelationMethod::EdgeTruncation { k: None },
+        ),
+        (
+            "smooth_sensitivity",
+            CorrelationMethod::SmoothSensitivity { delta: 1e-6 },
+        ),
+        (
+            "sample_aggregate",
+            CorrelationMethod::SampleAggregate { group_size: 32 },
+        ),
         ("naive_laplace", CorrelationMethod::NaiveLaplace),
     ] {
         fig5.bench_function(label, |b| {
             let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| {
-                black_box(learn_correlations_dp(&input, 0.3, method, &mut rng).unwrap())
-            });
+            b.iter(|| black_box(learn_correlations_dp(&input, 0.3, method, &mut rng).unwrap()));
         });
     }
     fig5.finish();
@@ -97,9 +107,10 @@ fn experiment_benches(c: &mut Criterion) {
     // Tables 2–5: one synthesized graph per (model, epsilon) cell.
     let mut tables = c.benchmark_group("tables2_5_agmdp");
     tables.sample_size(10);
-    for (label, model) in
-        [("agmdp_fcl", StructuralModelKind::Fcl), ("agmdp_tricl", StructuralModelKind::TriCycLe)]
-    {
+    for (label, model) in [
+        ("agmdp_fcl", StructuralModelKind::Fcl),
+        ("agmdp_tricl", StructuralModelKind::TriCycLe),
+    ] {
         tables.bench_function(format!("{label}_eps_ln2"), |b| {
             let config = AgmConfig {
                 privacy: Privacy::Dp { epsilon: 2f64.ln() },
@@ -118,9 +129,11 @@ fn experiment_benches(c: &mut Criterion) {
     node_dp.bench_function("node_dp_theta_f_eps_ln2", |b| {
         let mut rng = StdRng::seed_from_u64(7);
         b.iter(|| {
-            let est =
-                learn_correlations_node_dp(&input, 2f64.ln(), 0.01, None, &mut rng).unwrap();
-            black_box(hellinger_distance(truth_f.probabilities(), est.probabilities()))
+            let est = learn_correlations_node_dp(&input, 2f64.ln(), 0.01, None, &mut rng).unwrap();
+            black_box(hellinger_distance(
+                truth_f.probabilities(),
+                est.probabilities(),
+            ))
         });
     });
     node_dp.finish();

@@ -28,7 +28,10 @@ fn pipeline(c: &mut Criterion) {
         model: StructuralModelKind::Fcl,
         ..AgmConfig::default()
     };
-    let non_private = AgmConfig { privacy: Privacy::NonPrivate, ..AgmConfig::default() };
+    let non_private = AgmConfig {
+        privacy: Privacy::NonPrivate,
+        ..AgmConfig::default()
+    };
 
     group.bench_function("learn_parameters_dp_tricycle", |b| {
         let mut rng = StdRng::seed_from_u64(1);
@@ -39,13 +42,23 @@ fn pipeline(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         let params = learn_parameters(&input, &dp_tricycle, &mut rng).unwrap();
         b.iter(|| {
-            black_box(synthesize_from_parameters(&params, &dp_tricycle, &mut rng).unwrap().num_edges())
+            black_box(
+                synthesize_from_parameters(&params, &dp_tricycle, &mut rng)
+                    .unwrap()
+                    .num_edges(),
+            )
         });
     });
 
     group.bench_function("synthesize_agmdp_tricycle_eps1", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| black_box(synthesize(&input, &dp_tricycle, &mut rng).unwrap().num_edges()));
+        b.iter(|| {
+            black_box(
+                synthesize(&input, &dp_tricycle, &mut rng)
+                    .unwrap()
+                    .num_edges(),
+            )
+        });
     });
 
     group.bench_function("synthesize_agmdp_fcl_eps1", |b| {
@@ -55,7 +68,13 @@ fn pipeline(c: &mut Criterion) {
 
     group.bench_function("synthesize_agm_tricycle_non_private", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        b.iter(|| black_box(synthesize(&input, &non_private, &mut rng).unwrap().num_edges()));
+        b.iter(|| {
+            black_box(
+                synthesize(&input, &non_private, &mut rng)
+                    .unwrap()
+                    .num_edges(),
+            )
+        });
     });
 
     group.finish();

@@ -36,7 +36,10 @@ fn main() {
     for ds in &datasets {
         let truth_f = ThetaF::from_graph(&ds.graph);
         let mut rng = rng_for(&args, &format!("ablation-{}", ds.spec.name));
-        println!("\n=== {} (epsilon = ln 2, {} trials per row) ===\n", ds.spec.name, trials);
+        println!(
+            "\n=== {} (epsilon = ln 2, {} trials per row) ===\n",
+            ds.spec.name, trials
+        );
 
         // --- Ablation 1: orphan post-processing on/off -------------------
         println!("orphan post-processing (Algorithm 2):");
@@ -63,7 +66,10 @@ fn main() {
                 let report = GraphComparison::compare(&ds.graph, &synth);
                 ks.push(report.ks_degree);
                 let achieved = ThetaF::from_graph(&synth);
-                hf.push(hellinger_distance(truth_f.probabilities(), achieved.probabilities()));
+                hf.push(hellinger_distance(
+                    truth_f.probabilities(),
+                    achieved.probabilities(),
+                ));
             }
             println!(
                 "{:<12} {:>16.1} {:>12.1} {:>10.3} {:>10.3}",
@@ -98,7 +104,10 @@ fn main() {
             for _ in 0..trials {
                 let synth = synthesize(&ds.graph, &config, &mut rng).expect("synthesis");
                 let achieved = ThetaF::from_graph(&synth);
-                hf.push(hellinger_distance(truth_f.probabilities(), achieved.probabilities()));
+                hf.push(hellinger_distance(
+                    truth_f.probabilities(),
+                    achieved.probabilities(),
+                ));
                 ks.push(GraphComparison::compare(&ds.graph, &synth).ks_degree);
             }
             println!("{:<12} {:>10.3} {:>10.3}", iterations, mean(&hf), mean(&ks));
@@ -112,9 +121,15 @@ fn main() {
 
         // --- Ablation 3: privacy-budget split ------------------------------
         println!("\nprivacy-budget split (total epsilon fixed at ln 2):");
-        println!("{:<28} {:>10} {:>10} {:>10}", "split (X/F/S/Delta)", "H_F", "KS_S", "tri RE");
+        println!(
+            "{:<28} {:>10} {:>10} {:>10}",
+            "split (X/F/S/Delta)", "H_F", "KS_S", "tri RE"
+        );
         let splits: Vec<(&str, BudgetSplit)> = vec![
-            ("even 1/4 each (paper)", BudgetSplit::even_tricycle(EPSILON).unwrap()),
+            (
+                "even 1/4 each (paper)",
+                BudgetSplit::even_tricycle(EPSILON).unwrap(),
+            ),
             (
                 "correlation-heavy 1/8,1/2,1/4,1/8",
                 BudgetSplit::custom(EPSILON / 8.0, EPSILON / 2.0, EPSILON / 4.0, EPSILON / 8.0)
@@ -159,7 +174,10 @@ fn main() {
                 let synth =
                     synthesize_from_parameters(&params, &config, &mut rng).expect("synthesis");
                 let achieved = ThetaF::from_graph(&synth);
-                hf.push(hellinger_distance(truth_f.probabilities(), achieved.probabilities()));
+                hf.push(hellinger_distance(
+                    truth_f.probabilities(),
+                    achieved.probabilities(),
+                ));
                 let report = GraphComparison::compare(&ds.graph, &synth);
                 ks.push(report.ks_degree);
                 tri.push(report.triangle_count_re);

@@ -40,7 +40,10 @@ fn main() {
             .with_orphan_postprocessing(true)
             .generate(&mut rng)
             .expect("FCL generation");
-        let tcl = TclModel::fit(input, 10).expect("TCL fit").generate(&mut rng).expect("TCL generation");
+        let tcl = TclModel::fit(input, 10)
+            .expect("TCL fit")
+            .generate(&mut rng)
+            .expect("TCL generation");
         let tricycle = TriCycLeModel::new(degrees, triangles)
             .expect("valid parameters")
             .generate(&mut rng)
@@ -54,8 +57,12 @@ fn main() {
         );
         let input_dist = DegreeSequence::from_graph(input).distribution();
         let input_clust = average_local_clustering(input);
-        for (name, g) in [("input", input), ("FCL", &fcl), ("TCL", &tcl), ("TriCycLe", &tricycle)]
-        {
+        for (name, g) in [
+            ("input", input),
+            ("FCL", &fcl),
+            ("TCL", &tcl),
+            ("TriCycLe", &tricycle),
+        ] {
             let dist = DegreeSequence::from_graph(g).distribution();
             let c = average_local_clustering(g);
             let tri = count_triangles(g);
@@ -82,13 +89,23 @@ fn main() {
         print_ccdf_table(
             "degree d (Fig. 2: fraction of nodes with degree > d)",
             &DEGREE_GRID,
-            &[("input", input), ("FCL", &fcl), ("TCL", &tcl), ("TriCycLe", &tricycle)],
+            &[
+                ("input", input),
+                ("FCL", &fcl),
+                ("TCL", &tcl),
+                ("TriCycLe", &tricycle),
+            ],
             |g| DegreeSequence::from_graph(g).values().to_vec(),
         );
         print_ccdf_table(
             "local clustering c (Fig. 3: fraction of nodes with coefficient > c)",
             &CLUSTERING_GRID,
-            &[("input", input), ("FCL", &fcl), ("TCL", &tcl), ("TriCycLe", &tricycle)],
+            &[
+                ("input", input),
+                ("FCL", &fcl),
+                ("TCL", &tcl),
+                ("TriCycLe", &tricycle),
+            ],
             local_clustering_coefficients,
         );
     }
@@ -110,8 +127,10 @@ fn print_ccdf_table(
         print!(" {name:>10}");
     }
     println!();
-    let curves: Vec<Vec<agmdp_metrics::CcdfPoint>> =
-        graphs.iter().map(|(_, g)| ccdf_points(&values(g))).collect();
+    let curves: Vec<Vec<agmdp_metrics::CcdfPoint>> = graphs
+        .iter()
+        .map(|(_, g)| ccdf_points(&values(g)))
+        .collect();
     for &x in grid {
         print!("{x:<10.2}");
         for curve in &curves {

@@ -33,8 +33,11 @@ fn main() {
         let truth = ThetaF::from_graph(&ds.graph);
         let n = ds.graph.num_nodes();
         // Group-size grid for S&A (the paper tunes it empirically per dataset).
-        let group_sizes: Vec<usize> =
-            [8, 16, 32, 64, 128].iter().copied().filter(|&k| k < n).collect();
+        let group_sizes: Vec<usize> = [8, 16, 32, 64, 128]
+            .iter()
+            .copied()
+            .filter(|&k| k < n)
+            .collect();
         let mut rng = rng_for(&args, &format!("fig5-{}", ds.spec.name));
 
         for &epsilon in &EPSILONS {
@@ -49,10 +52,18 @@ fn main() {
                 mean(&errs)
             };
             let trunc = mae_of(CorrelationMethod::EdgeTruncation { k: None }, &mut rng);
-            let smooth = mae_of(CorrelationMethod::SmoothSensitivity { delta: 1e-6 }, &mut rng);
+            let smooth = mae_of(
+                CorrelationMethod::SmoothSensitivity { delta: 1e-6 },
+                &mut rng,
+            );
             let sa = group_sizes
                 .iter()
-                .map(|&gs| mae_of(CorrelationMethod::SampleAggregate { group_size: gs }, &mut rng))
+                .map(|&gs| {
+                    mae_of(
+                        CorrelationMethod::SampleAggregate { group_size: gs },
+                        &mut rng,
+                    )
+                })
                 .fold(f64::INFINITY, f64::min);
             let naive = mae_of(CorrelationMethod::NaiveLaplace, &mut rng);
             println!(

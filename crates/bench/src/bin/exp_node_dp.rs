@@ -40,9 +40,8 @@ fn main() {
         for &epsilon in &epsilons {
             let node: Vec<f64> = (0..trials)
                 .map(|_| {
-                    let est =
-                        learn_correlations_node_dp(&ds.graph, epsilon, DELTA, None, &mut rng)
-                            .expect("node-DP estimation succeeds");
+                    let est = learn_correlations_node_dp(&ds.graph, epsilon, DELTA, None, &mut rng)
+                        .expect("node-DP estimation succeeds");
                     hellinger_distance(truth.probabilities(), est.probabilities())
                 })
                 .collect();
@@ -59,7 +58,11 @@ fn main() {
                 })
                 .collect();
             let (h_node, h_edge) = (mean(&node), mean(&edge));
-            let marker = if h_node < h_uniform { "beats baseline" } else { "" };
+            let marker = if h_node < h_uniform {
+                "beats baseline"
+            } else {
+                ""
+            };
             println!(
                 "{:<16} {:>8.3} {:>14.3} {:>14.3} {:>14.3}  {}",
                 ds.spec.name, epsilon, h_node, h_edge, h_uniform, marker

@@ -63,7 +63,9 @@ impl InputStats {
     }
 }
 
-const COLUMNS: [&str; 8] = ["ThetaF", "H_F", "KS_S", "H_S", "tri", "C_avg", "C_glob", "m"];
+const COLUMNS: [&str; 8] = [
+    "ThetaF", "H_F", "KS_S", "H_S", "tri", "C_avg", "C_glob", "m",
+];
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -92,7 +94,10 @@ fn main() {
             ]
         };
 
-        println!("\n=== {} (Tables 2-5 row family, {} trials/row) ===\n", ds.spec.name, trials);
+        println!(
+            "\n=== {} (Tables 2-5 row family, {} trials/row) ===\n",
+            ds.spec.name, trials
+        );
         print!("{:<14} {:<14}", "epsilon", "model");
         for c in COLUMNS {
             print!(" {c:>8}");
@@ -109,7 +114,11 @@ fn main() {
                 } else {
                     name.to_string()
                 };
-                let config = AgmConfig { privacy: *privacy, model: kind, ..AgmConfig::default() };
+                let config = AgmConfig {
+                    privacy: *privacy,
+                    model: kind,
+                    ..AgmConfig::default()
+                };
                 let mut columns = vec![Vec::with_capacity(trials); COLUMNS.len()];
                 for trial in 0..trials {
                     // Learning and sampling both repeat per trial, exactly as the

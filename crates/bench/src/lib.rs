@@ -41,7 +41,13 @@ pub struct ExperimentArgs {
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        Self { datasets: Vec::new(), trials: None, full_scale: false, json: None, seed: 2016 }
+        Self {
+            datasets: Vec::new(),
+            trials: None,
+            full_scale: false,
+            json: None,
+            seed: 2016,
+        }
     }
 }
 
@@ -60,7 +66,8 @@ impl ExperimentArgs {
             match arg.as_str() {
                 "--dataset" | "--datasets" => {
                     if let Some(v) = iter.next() {
-                        out.datasets.extend(v.split(',').map(|s| s.trim().to_lowercase()));
+                        out.datasets
+                            .extend(v.split(',').map(|s| s.trim().to_lowercase()));
                     }
                 }
                 "--trials" => {
@@ -100,7 +107,11 @@ impl ExperimentArgs {
             all
         } else {
             all.into_iter()
-                .filter(|s| self.datasets.iter().any(|d| s.name.to_lowercase().contains(d)))
+                .filter(|s| {
+                    self.datasets
+                        .iter()
+                        .any(|d| s.name.to_lowercase().contains(d))
+                })
                 .collect()
         }
     }
@@ -138,7 +149,9 @@ pub fn load_datasets(args: &ExperimentArgs) -> Vec<ExperimentDataset> {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// A deterministic RNG derived from the experiment seed and a context label.
@@ -217,9 +230,17 @@ mod tests {
     #[test]
     fn args_parse_recognised_flags() {
         let args = ExperimentArgs::parse_from(
-            ["--dataset", "lastfm,petster", "--trials", "7", "--full", "--seed", "9"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--dataset",
+                "lastfm,petster",
+                "--trials",
+                "7",
+                "--full",
+                "--seed",
+                "9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(args.datasets, vec!["lastfm", "petster"]);
         assert_eq!(args.trials, Some(7));

@@ -46,7 +46,10 @@ pub fn acceptance_probabilities(
         // fall back to accepting everything.
         return vec![1.0; ratios.len()];
     }
-    ratios.into_iter().map(|r| (r / sup).clamp(0.0, 1.0)).collect()
+    ratios
+        .into_iter()
+        .map(|r| (r / sup).clamp(0.0, 1.0))
+        .collect()
 }
 
 #[cfg(test)]

@@ -236,12 +236,8 @@ mod tests {
         assert!(learn_correlations_truncated(&g, 1.0, 0, &mut rng).is_err());
         assert!(learn_correlations_dp(&g, 0.0, CorrelationMethod::default(), &mut rng).is_err());
         assert!(learn_correlations_smooth(&g, 1.0, 0.0, &mut rng).is_err());
-        assert!(
-            learn_correlations_sample_aggregate(&g, 1.0, 0, &mut rng).is_err()
-        );
-        assert!(
-            learn_correlations_sample_aggregate(&g, 1.0, g.num_nodes() + 1, &mut rng).is_err()
-        );
+        assert!(learn_correlations_sample_aggregate(&g, 1.0, 0, &mut rng).is_err());
+        assert!(learn_correlations_sample_aggregate(&g, 1.0, g.num_nodes() + 1, &mut rng).is_err());
     }
 
     #[test]
@@ -265,7 +261,13 @@ mod tests {
         )
         .unwrap();
         let eps = 0.5;
-        let trunc = mae_of_method(&g, eps, CorrelationMethod::EdgeTruncation { k: None }, 10, 4);
+        let trunc = mae_of_method(
+            &g,
+            eps,
+            CorrelationMethod::EdgeTruncation { k: None },
+            10,
+            4,
+        );
         let naive = mae_of_method(&g, eps, CorrelationMethod::NaiveLaplace, 10, 4);
         assert!(
             trunc < naive / 2.0,
@@ -276,8 +278,20 @@ mod tests {
     #[test]
     fn error_decreases_with_epsilon_for_truncation() {
         let g = toy_social_graph();
-        let loose = mae_of_method(&g, 0.1, CorrelationMethod::EdgeTruncation { k: Some(4) }, 40, 5);
-        let tight = mae_of_method(&g, 5.0, CorrelationMethod::EdgeTruncation { k: Some(4) }, 40, 5);
+        let loose = mae_of_method(
+            &g,
+            0.1,
+            CorrelationMethod::EdgeTruncation { k: Some(4) },
+            40,
+            5,
+        );
+        let tight = mae_of_method(
+            &g,
+            5.0,
+            CorrelationMethod::EdgeTruncation { k: Some(4) },
+            40,
+            5,
+        );
         assert!(tight < loose);
     }
 
@@ -307,8 +321,7 @@ mod tests {
         let trials = 5;
         let mae: f64 = (0..trials)
             .map(|_| {
-                let est =
-                    learn_correlations_sample_aggregate(&g, 2.0, 40, &mut rng).unwrap();
+                let est = learn_correlations_sample_aggregate(&g, 2.0, 40, &mut rng).unwrap();
                 mean_absolute_error(exact.probabilities(), est.probabilities())
             })
             .sum::<f64>()
@@ -322,10 +335,20 @@ mod tests {
     #[test]
     fn smooth_sensitivity_tracks_epsilon() {
         let g = toy_social_graph();
-        let loose =
-            mae_of_method(&g, 0.1, CorrelationMethod::SmoothSensitivity { delta: 0.01 }, 40, 7);
-        let tight =
-            mae_of_method(&g, 5.0, CorrelationMethod::SmoothSensitivity { delta: 0.01 }, 40, 7);
+        let loose = mae_of_method(
+            &g,
+            0.1,
+            CorrelationMethod::SmoothSensitivity { delta: 0.01 },
+            40,
+            7,
+        );
+        let tight = mae_of_method(
+            &g,
+            5.0,
+            CorrelationMethod::SmoothSensitivity { delta: 0.01 },
+            40,
+            7,
+        );
         assert!(tight < loose);
     }
 }

@@ -147,7 +147,10 @@ mod tests {
         h_node /= trials as f64;
         h_edge /= trials as f64;
         let h_uniform = hellinger_distance(truth.probabilities(), &[0.1; 10]);
-        assert!(h_edge <= h_node + 1e-9, "edge-DP ({h_edge}) should not be worse than node-DP ({h_node})");
+        assert!(
+            h_edge <= h_node + 1e-9,
+            "edge-DP ({h_edge}) should not be worse than node-DP ({h_node})"
+        );
         assert!(
             h_node < h_uniform,
             "node-DP Hellinger {h_node} should still beat the uniform baseline {h_uniform} at eps = 2"

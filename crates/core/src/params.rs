@@ -31,7 +31,10 @@ impl ThetaX {
                 probabilities.len()
             )));
         }
-        Ok(Self { schema, probabilities: agmdp_privacy::postprocess::normalize(&probabilities) })
+        Ok(Self {
+            schema,
+            probabilities: agmdp_privacy::postprocess::normalize(&probabilities),
+        })
     }
 
     /// Exact (non-private) estimate from a graph.
@@ -93,7 +96,10 @@ impl ThetaF {
                 probabilities.len()
             )));
         }
-        Ok(Self { schema, probabilities: agmdp_privacy::postprocess::normalize(&probabilities) })
+        Ok(Self {
+            schema,
+            probabilities: agmdp_privacy::postprocess::normalize(&probabilities),
+        })
     }
 
     /// Exact (non-private) estimate from a graph. A graph with no edges yields
@@ -144,7 +150,10 @@ impl ThetaM {
     /// Exact estimate without the triangle count (for FCL).
     #[must_use]
     pub fn from_graph_degrees_only(graph: &AttributedGraph) -> Self {
-        Self { degree_sequence: graph.degrees(), triangles: None }
+        Self {
+            degree_sequence: graph.degrees(),
+            triangles: None,
+        }
     }
 
     /// The total number of edges implied by the degree sequence.
@@ -258,7 +267,13 @@ mod tests {
     #[test]
     fn raw_counts_sum_to_nodes_and_edges() {
         let g = small_graph();
-        assert_eq!(node_config_counts(&g).iter().sum::<f64>(), g.num_nodes() as f64);
-        assert_eq!(edge_config_counts(&g).iter().sum::<f64>(), g.num_edges() as f64);
+        assert_eq!(
+            node_config_counts(&g).iter().sum::<f64>(),
+            g.num_nodes() as f64
+        );
+        assert_eq!(
+            edge_config_counts(&g).iter().sum::<f64>(),
+            g.num_edges() as f64
+        );
     }
 }

@@ -51,7 +51,10 @@ pub fn fit_fcl_dp<R: Rng + ?Sized>(
         return Err(CoreError::UnusableInput("graph has no nodes".to_string()));
     }
     let degree_sequence = dp_degree_sequence(&graph.degrees(), epsilon, rng)?;
-    Ok(ThetaM { degree_sequence, triangles: None })
+    Ok(ThetaM {
+        degree_sequence,
+        triangles: None,
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +107,10 @@ mod tests {
         let theta_m = fit_tricycle_dp(&g, 2.0, 2.0, &mut rng).unwrap();
         let implied = theta_m.implied_edges() as f64;
         let m = g.num_edges() as f64;
-        assert!((implied - m).abs() / m < 0.25, "implied edges {implied} vs true {m}");
+        assert!(
+            (implied - m).abs() / m < 0.25,
+            "implied edges {implied} vs true {m}"
+        );
     }
 
     #[test]

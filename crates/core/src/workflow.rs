@@ -144,7 +144,11 @@ pub fn learn_parameters<R: Rng + ?Sized>(
                 StructuralModelKind::TriCycLe => ThetaM::from_graph(graph),
                 StructuralModelKind::Fcl => ThetaM::from_graph_degrees_only(graph),
             };
-            (ThetaX::from_graph(graph), ThetaF::from_graph(graph), theta_m)
+            (
+                ThetaX::from_graph(graph),
+                ThetaF::from_graph(graph),
+                theta_m,
+            )
         }
         Privacy::Dp { .. } => {
             let split = config.budget_split()?;
@@ -206,11 +210,8 @@ pub fn synthesize_from_parameters<R: Rng>(
     let mut previous_acceptance: Option<Vec<f64>> = None;
     for _ in 0..config.refinement_iterations {
         let observed = ThetaF::from_graph(&current);
-        let acceptance = acceptance_probabilities(
-            &params.theta_f,
-            &observed,
-            previous_acceptance.as_deref(),
-        );
+        let acceptance =
+            acceptance_probabilities(&params.theta_f, &observed, previous_acceptance.as_deref());
         let ctx = AcceptanceContext::new(codes.clone(), params.schema, acceptance.clone())?;
         current = model.generate_with_acceptance(&ctx, rng)?;
         previous_acceptance = Some(acceptance);
@@ -274,7 +275,10 @@ mod tests {
         assert!((s.degree_sequence - 0.1).abs() < 1e-12);
         assert_eq!(s.triangles, 0.0);
 
-        let non_private = AgmConfig { privacy: Privacy::NonPrivate, ..AgmConfig::default() };
+        let non_private = AgmConfig {
+            privacy: Privacy::NonPrivate,
+            ..AgmConfig::default()
+        };
         assert!(non_private.budget_split().is_err());
     }
 
@@ -285,8 +289,10 @@ mod tests {
         assert!(synthesize(&empty, &AgmConfig::default(), &mut rng).is_err());
         let no_edges = AttributedGraph::new(5, AttributeSchema::new(1));
         assert!(synthesize(&no_edges, &AgmConfig::default(), &mut rng).is_err());
-        let bad_config =
-            AgmConfig { refinement_iterations: 0, ..AgmConfig::default() };
+        let bad_config = AgmConfig {
+            refinement_iterations: 0,
+            ..AgmConfig::default()
+        };
         assert!(synthesize(&toy_social_graph(), &bad_config, &mut rng).is_err());
     }
 
@@ -303,8 +309,16 @@ mod tests {
         assert_eq!(synth.num_nodes(), input.num_nodes());
         assert_eq!(synth.schema(), input.schema());
         let report = GraphComparison::compare(&input, &synth);
-        assert!(report.edge_count_re < 0.2, "edge count error {}", report.edge_count_re);
-        assert!(report.ks_degree < 0.35, "KS degree error {}", report.ks_degree);
+        assert!(
+            report.edge_count_re < 0.2,
+            "edge count error {}",
+            report.edge_count_re
+        );
+        assert!(
+            report.ks_degree < 0.35,
+            "KS degree error {}",
+            report.ks_degree
+        );
         assert!(count_triangles(&synth) > 0);
         synth.check_consistency().unwrap();
     }
@@ -347,8 +361,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let synth = synthesize(&input, &config, &mut rng).unwrap();
         assert_eq!(synth.num_nodes(), input.num_nodes());
-        let re = (synth.num_edges() as f64 - input.num_edges() as f64).abs()
-            / input.num_edges() as f64;
+        let re =
+            (synth.num_edges() as f64 - input.num_edges() as f64).abs() / input.num_edges() as f64;
         assert!(re < 0.35, "edge count relative error {re}");
     }
 

@@ -98,7 +98,12 @@ impl DatasetSpec {
     /// All four paper presets at full size.
     #[must_use]
     pub fn paper_presets() -> Vec<Self> {
-        vec![Self::lastfm(), Self::petster(), Self::epinions(), Self::pokec()]
+        vec![
+            Self::lastfm(),
+            Self::petster(),
+            Self::epinions(),
+            Self::pokec(),
+        ]
     }
 
     /// The default experiment suite: Last.fm and Petster at full size, the two
@@ -161,7 +166,10 @@ mod tests {
         // Note: Table 6 reports the edges-per-node ratio m/n as "average degree";
         // we check that ratio against the table and the standard 2m/n separately.
         let l = DatasetSpec::lastfm();
-        assert_eq!((l.nodes, l.edges, l.max_degree, l.triangles), (1_843, 12_668, 119, 19_651));
+        assert_eq!(
+            (l.nodes, l.edges, l.max_degree, l.triangles),
+            (1_843, 12_668, 119, 19_651)
+        );
         assert!((l.edges as f64 / l.nodes as f64 - 6.9).abs() < 0.1);
         assert!((l.avg_degree() - 2.0 * 6.87).abs() < 0.2);
         let p = DatasetSpec::petster();
@@ -180,7 +188,11 @@ mod tests {
     fn marginals_are_distributions() {
         for spec in DatasetSpec::paper_presets() {
             let sum: f64 = spec.attribute_marginals.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{} marginals sum to {sum}", spec.name);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{} marginals sum to {sum}",
+                spec.name
+            );
             assert_eq!(spec.attribute_width(), 2);
             assert!((0.0..=1.0).contains(&spec.homophily));
         }

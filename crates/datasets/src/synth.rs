@@ -208,7 +208,10 @@ mod tests {
         // Under attribute independence the expected same-configuration edge
         // fraction is sum(p_i^2) ≈ 0.32 for the Last.fm marginals; homophily
         // must push it clearly higher.
-        assert!(frac_same > 0.40, "same-attribute edge fraction {frac_same} shows no homophily");
+        assert!(
+            frac_same > 0.40,
+            "same-attribute edge fraction {frac_same} shows no homophily"
+        );
     }
 
     #[test]

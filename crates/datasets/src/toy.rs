@@ -74,8 +74,10 @@ mod tests {
     #[test]
     fn toy_graph_is_homophilous() {
         let g = toy_social_graph();
-        let same =
-            g.edges().filter(|e| g.attribute_code(e.u) == g.attribute_code(e.v)).count() as f64;
+        let same = g
+            .edges()
+            .filter(|e| g.attribute_code(e.u) == g.attribute_code(e.v))
+            .count() as f64;
         assert!(same / g.num_edges() as f64 > 0.7);
     }
 

@@ -44,7 +44,10 @@ impl AttributeSchema {
     /// Panics if `width > 16`.
     #[must_use]
     pub fn new(width: usize) -> Self {
-        assert!(width <= 16, "attribute width {width} exceeds supported maximum of 16");
+        assert!(
+            width <= 16,
+            "attribute width {width} exceeds supported maximum of 16"
+        );
         Self { width }
     }
 
@@ -73,7 +76,10 @@ impl AttributeSchema {
         if (code as usize) < self.num_node_configs() {
             Ok(())
         } else {
-            Err(GraphError::AttributeCodeOutOfRange { code, width: self.width })
+            Err(GraphError::AttributeCodeOutOfRange {
+                code,
+                width: self.width,
+            })
         }
     }
 
@@ -93,7 +99,11 @@ impl AttributeSchema {
     /// The mapping ignores edge direction: `edge_config(a, b) == edge_config(b, a)`.
     #[must_use]
     pub fn edge_config(&self, code_a: u32, code_b: u32) -> EdgeConfigIndex {
-        let (lo, hi) = if code_a <= code_b { (code_a as usize, code_b as usize) } else { (code_b as usize, code_a as usize) };
+        let (lo, hi) = if code_a <= code_b {
+            (code_a as usize, code_b as usize)
+        } else {
+            (code_b as usize, code_a as usize)
+        };
         debug_assert!(hi < self.num_node_configs());
         // Dense triangular index over unordered pairs (lo <= hi):
         // all pairs with smaller `lo` come first.
@@ -129,7 +139,10 @@ impl AttributeSchema {
     /// Extracts attribute `j` (0 or 1) from a code.
     pub fn attribute_of(&self, code: u32, j: usize) -> Result<u8, GraphError> {
         if j >= self.width {
-            return Err(GraphError::AttributeIndexOutOfRange { index: j, width: self.width });
+            return Err(GraphError::AttributeIndexOutOfRange {
+                index: j,
+                width: self.width,
+            });
         }
         Ok(((code >> j) & 1) as u8)
     }
@@ -204,7 +217,10 @@ mod tests {
                     let idx = s.edge_config(a, b);
                     assert_eq!(idx, s.edge_config(b, a), "F_w must ignore direction");
                     assert!(idx < s.num_edge_configs());
-                    assert!(!seen[idx], "F_w must be injective on unordered pairs (w={w}, a={a}, b={b})");
+                    assert!(
+                        !seen[idx],
+                        "F_w must be injective on unordered pairs (w={w}, a={a}, b={b})"
+                    );
                     seen[idx] = true;
                     assert_eq!(s.edge_config_pair(idx), Some((a, b)));
                 }

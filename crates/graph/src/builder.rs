@@ -23,7 +23,11 @@ impl GraphBuilder {
     /// Starts a builder for a graph with `n` nodes and the given schema.
     #[must_use]
     pub fn new(n: usize, schema: AttributeSchema) -> Self {
-        Self { graph: AttributedGraph::new(n, schema), skipped_duplicates: 0, skipped_self_loops: 0 }
+        Self {
+            graph: AttributedGraph::new(n, schema),
+            skipped_duplicates: 0,
+            skipped_self_loops: 0,
+        }
     }
 
     /// Starts a builder for an unattributed graph with `n` nodes.
@@ -90,7 +94,8 @@ mod tests {
     #[test]
     fn builder_skips_noise_and_counts_it() {
         let mut b = GraphBuilder::unattributed(4);
-        b.edges([(0, 1), (1, 0), (1, 1), (1, 2), (2, 3), (0, 1)]).unwrap();
+        b.edges([(0, 1), (1, 0), (1, 1), (1, 2), (2, 3), (0, 1)])
+            .unwrap();
         assert_eq!(b.skipped_duplicates(), 2);
         assert_eq!(b.skipped_self_loops(), 1);
         let g = b.build();

@@ -64,7 +64,11 @@ impl CategoricalEncoder {
                 "one-hot width {width} exceeds the supported maximum of 16 binary attributes"
             )));
         }
-        Ok(Self { attributes, offsets, width })
+        Ok(Self {
+            attributes,
+            offsets,
+            width,
+        })
     }
 
     /// The binary attribute schema implied by the encoding.
@@ -97,12 +101,16 @@ impl CategoricalEncoder {
         }
         let mut code = 0u32;
         for ((attr, offset), &label) in self.attributes.iter().zip(&self.offsets).zip(labels) {
-            let pos = attr.categories.iter().position(|c| c == label).ok_or_else(|| {
-                GraphError::InvalidParameter(format!(
-                    "unknown category '{label}' for attribute '{}'",
-                    attr.name
-                ))
-            })?;
+            let pos = attr
+                .categories
+                .iter()
+                .position(|c| c == label)
+                .ok_or_else(|| {
+                    GraphError::InvalidParameter(format!(
+                        "unknown category '{label}' for attribute '{}'",
+                        attr.name
+                    ))
+                })?;
             code |= 1u32 << (offset + pos);
         }
         Ok(code)

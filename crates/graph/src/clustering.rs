@@ -95,7 +95,9 @@ mod tests {
         let g = complete_graph(5);
         assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
         assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
-        assert!(local_clustering_coefficients(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(local_clustering_coefficients(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
     }
 
     #[test]
@@ -110,7 +112,10 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_graphs() {
-        assert_eq!(average_local_clustering(&AttributedGraph::unattributed(0)), 0.0);
+        assert_eq!(
+            average_local_clustering(&AttributedGraph::unattributed(0)),
+            0.0
+        );
         assert_eq!(global_clustering(&AttributedGraph::unattributed(1)), 0.0);
         let mut pair = AttributedGraph::unattributed(2);
         pair.add_edge(0, 1).unwrap();

@@ -24,7 +24,9 @@ impl DegreeSequence {
     /// Builds the degree sequence of `g` (one entry per node, by node id).
     #[must_use]
     pub fn from_graph(g: &AttributedGraph) -> Self {
-        Self { degrees: g.degrees().into_iter().map(|d| d as f64).collect() }
+        Self {
+            degrees: g.degrees().into_iter().map(|d| d as f64).collect(),
+        }
     }
 
     /// Wraps an existing (possibly noisy, fractional) sequence.
@@ -105,8 +107,11 @@ impl DegreeSequence {
         if self.degrees.is_empty() {
             return Vec::new();
         }
-        let rounded: Vec<usize> =
-            self.degrees.iter().map(|&d| if d < 0.0 { 0 } else { d.round() as usize }).collect();
+        let rounded: Vec<usize> = self
+            .degrees
+            .iter()
+            .map(|&d| if d < 0.0 { 0 } else { d.round() as usize })
+            .collect();
         let max_d = rounded.iter().copied().max().unwrap_or(0);
         let mut hist = vec![0.0; max_d + 1];
         for d in rounded {

@@ -57,10 +57,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "edge ({u}, {v}) already exists")
@@ -93,7 +99,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
 

@@ -109,7 +109,10 @@ impl AttributedGraph {
         if (v as usize) < self.num_nodes() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes() })
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes(),
+            })
         }
     }
 
@@ -162,7 +165,11 @@ impl AttributedGraph {
             return false;
         }
         // Search the shorter adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adjacency[a as usize].binary_search(&b).is_ok()
     }
 
@@ -222,7 +229,10 @@ impl AttributedGraph {
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
             let u = u as NodeId;
-            nbrs.iter().copied().filter(move |&v| u < v).map(move |v| Edge { u, v })
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge { u, v })
         })
     }
 
@@ -302,7 +312,8 @@ impl AttributedGraph {
     /// endpoints' current attribute codes.
     #[must_use]
     pub fn edge_config(&self, u: NodeId, v: NodeId) -> EdgeConfigIndex {
-        self.schema.edge_config(self.attributes[u as usize], self.attributes[v as usize])
+        self.schema
+            .edge_config(self.attributes[u as usize], self.attributes[v as usize])
     }
 
     /// Removes every edge while keeping nodes and attributes.
@@ -321,7 +332,10 @@ impl AttributedGraph {
             let mut prev: Option<NodeId> = None;
             for &v in nbrs {
                 if (v as usize) >= self.num_nodes() {
-                    return Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes() });
+                    return Err(GraphError::NodeOutOfRange {
+                        node: v,
+                        num_nodes: self.num_nodes(),
+                    });
                 }
                 if v as usize == u {
                     return Err(GraphError::SelfLoop { node: v });
@@ -334,7 +348,10 @@ impl AttributedGraph {
                     }
                 }
                 prev = Some(v);
-                if self.adjacency[v as usize].binary_search(&(u as NodeId)).is_err() {
+                if self.adjacency[v as usize]
+                    .binary_search(&(u as NodeId))
+                    .is_err()
+                {
                     return Err(GraphError::InvalidParameter(format!(
                         "edge ({u}, {v}) is not symmetric"
                     )));
@@ -407,18 +424,33 @@ mod tests {
     #[test]
     fn self_loops_and_duplicates_rejected() {
         let mut g = AttributedGraph::unattributed(3);
-        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            g.add_edge(1, 1),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
         g.add_edge(0, 1).unwrap();
-        assert!(matches!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge { .. })));
-        assert!(matches!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            g.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
         assert_eq!(g.num_edges(), 1);
     }
 
     #[test]
     fn out_of_range_nodes_rejected() {
         let mut g = AttributedGraph::unattributed(3);
-        assert!(matches!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { .. })));
-        assert!(matches!(g.remove_edge(5, 0), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            g.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.remove_edge(5, 0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -438,7 +470,10 @@ mod tests {
         g.remove_edge(1, 0).unwrap();
         assert!(!g.has_edge(0, 1));
         assert_eq!(g.num_edges(), 2);
-        assert!(matches!(g.remove_edge(0, 1), Err(GraphError::MissingEdge { .. })));
+        assert!(matches!(
+            g.remove_edge(0, 1),
+            Err(GraphError::MissingEdge { .. })
+        ));
         g.check_consistency().unwrap();
     }
 
@@ -446,7 +481,14 @@ mod tests {
     fn edges_are_canonical_and_unique() {
         let g = triangle_graph();
         let edges = g.edge_vec();
-        assert_eq!(edges, vec![Edge { u: 0, v: 1 }, Edge { u: 0, v: 2 }, Edge { u: 1, v: 2 }]);
+        assert_eq!(
+            edges,
+            vec![
+                Edge { u: 0, v: 1 },
+                Edge { u: 0, v: 2 },
+                Edge { u: 1, v: 2 }
+            ]
+        );
     }
 
     #[test]

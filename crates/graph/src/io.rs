@@ -77,7 +77,9 @@ pub fn from_text(text: &str) -> Result<AttributedGraph> {
                 builder = Some(GraphBuilder::new(n, schema));
             }
             "attr" => {
-                let b = builder.as_mut().ok_or_else(|| ctx("attr before nodes header"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ctx("attr before nodes header"))?;
                 let v: u32 = parts
                     .next()
                     .ok_or_else(|| ctx("missing node id"))?
@@ -90,7 +92,9 @@ pub fn from_text(text: &str) -> Result<AttributedGraph> {
                 b.attribute(v, code)?;
             }
             "edge" => {
-                let b = builder.as_mut().ok_or_else(|| ctx("edge before nodes header"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ctx("edge before nodes header"))?;
                 let u: u32 = parts
                     .next()
                     .ok_or_else(|| ctx("missing edge endpoint"))?
@@ -108,7 +112,9 @@ pub fn from_text(text: &str) -> Result<AttributedGraph> {
             }
         }
     }
-    builder.map(GraphBuilder::build).ok_or_else(|| GraphError::Format("missing 'nodes' header".into()))
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| GraphError::Format("missing 'nodes' header".into()))
 }
 
 /// Writes a graph to a file in the text format.

@@ -85,7 +85,10 @@ pub fn triangles_on_edge(g: &AttributedGraph, u: NodeId, v: NodeId) -> usize {
 /// counting used by the Ladder framework.
 #[must_use]
 pub fn max_triangles_on_any_edge(g: &AttributedGraph) -> usize {
-    g.edges().map(|e| g.common_neighbor_count(e.u, e.v)).max().unwrap_or(0)
+    g.edges()
+        .map(|e| g.common_neighbor_count(e.u, e.v))
+        .max()
+        .unwrap_or(0)
 }
 
 fn common_after(g: &AttributedGraph, u: NodeId, v: NodeId, after: NodeId) -> Vec<NodeId> {

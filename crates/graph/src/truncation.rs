@@ -50,10 +50,15 @@ pub fn edge_truncation(g: &AttributedGraph, k: usize) -> TruncationOutcome {
             degrees[vi] -= 1;
             deleted += 1;
         } else {
-            out.add_edge(u, v).expect("source graph edges are unique and in range");
+            out.add_edge(u, v)
+                .expect("source graph edges are unique and in range");
         }
     }
-    TruncationOutcome { graph: out, deleted_edges: deleted, k }
+    TruncationOutcome {
+        graph: out,
+        deleted_edges: deleted,
+        k,
+    }
 }
 
 /// The data-independent heuristic `k = ⌈n^(1/3)⌉` recommended in Section 3.1.

@@ -1,7 +1,9 @@
 //! Property-based tests for the graph substrate: structural invariants that
 //! every algorithm in the workspace silently relies on.
 
-use agmdp_graph::clustering::{average_local_clustering, global_clustering, local_clustering_coefficients};
+use agmdp_graph::clustering::{
+    average_local_clustering, global_clustering, local_clustering_coefficients,
+};
 use agmdp_graph::components::{connected_components, is_connected};
 use agmdp_graph::degree::DegreeSequence;
 use agmdp_graph::io::{from_text, to_text};

@@ -35,7 +35,10 @@ pub fn ccdf_points(samples: &[f64]) -> Vec<CcdfPoint> {
         while j < sorted.len() && sorted[j] == v {
             j += 1;
         }
-        out.push(CcdfPoint { value: v, fraction_greater: (sorted.len() - j) as f64 / n });
+        out.push(CcdfPoint {
+            value: v,
+            fraction_greater: (sorted.len() - j) as f64 / n,
+        });
         i = j;
     }
     out
@@ -60,9 +63,27 @@ mod tests {
     fn ccdf_of_simple_sample() {
         let pts = ccdf_points(&[1.0, 1.0, 2.0, 3.0]);
         assert_eq!(pts.len(), 3);
-        assert_eq!(pts[0], CcdfPoint { value: 1.0, fraction_greater: 0.5 });
-        assert_eq!(pts[1], CcdfPoint { value: 2.0, fraction_greater: 0.25 });
-        assert_eq!(pts[2], CcdfPoint { value: 3.0, fraction_greater: 0.0 });
+        assert_eq!(
+            pts[0],
+            CcdfPoint {
+                value: 1.0,
+                fraction_greater: 0.5
+            }
+        );
+        assert_eq!(
+            pts[1],
+            CcdfPoint {
+                value: 2.0,
+                fraction_greater: 0.25
+            }
+        );
+        assert_eq!(
+            pts[2],
+            CcdfPoint {
+                value: 3.0,
+                fraction_greater: 0.0
+            }
+        );
     }
 
     #[test]

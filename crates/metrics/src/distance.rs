@@ -103,7 +103,11 @@ pub fn ks_statistic(p: &[f64], q: &[f64]) -> f64 {
 #[must_use]
 pub fn ks_statistic_samples(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
     }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();

@@ -143,8 +143,15 @@ mod tests {
 
     #[test]
     fn mean_of_reports_averages_fields() {
-        let a = GraphComparison { ks_degree: 0.2, ..Default::default() };
-        let b = GraphComparison { ks_degree: 0.4, edge_count_re: 0.1, ..Default::default() };
+        let a = GraphComparison {
+            ks_degree: 0.2,
+            ..Default::default()
+        };
+        let b = GraphComparison {
+            ks_degree: 0.4,
+            edge_count_re: 0.1,
+            ..Default::default()
+        };
         let m = GraphComparison::mean(&[a, b]);
         assert!((m.ks_degree - 0.3).abs() < 1e-12);
         assert!((m.edge_count_re - 0.05).abs() < 1e-12);

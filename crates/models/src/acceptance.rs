@@ -43,7 +43,10 @@ impl AcceptanceContext {
                 acceptance.len()
             )));
         }
-        if acceptance.iter().any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan()) {
+        if acceptance
+            .iter()
+            .any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan())
+        {
             return Err(ModelError::AcceptanceMismatch(
                 "acceptance probabilities must lie in [0, 1]".to_string(),
             ));
@@ -56,7 +59,11 @@ impl AcceptanceContext {
                 )));
             }
         }
-        Ok(Self { attribute_codes, schema, acceptance })
+        Ok(Self {
+            attribute_codes,
+            schema,
+            acceptance,
+        })
     }
 
     /// Acceptance probability of a proposed edge between nodes `u` and `v`.
@@ -121,8 +128,7 @@ mod tests {
     fn probability_lookup_uses_edge_config() {
         let schema = AttributeSchema::new(1);
         // Edge configs for w=1: (0,0) -> 0, (0,1) -> 1, (1,1) -> 2.
-        let ctx =
-            AcceptanceContext::new(vec![0, 1, 1], schema, vec![0.1, 0.5, 0.9]).unwrap();
+        let ctx = AcceptanceContext::new(vec![0, 1, 1], schema, vec![0.1, 0.5, 0.9]).unwrap();
         assert!((ctx.probability(0, 0) - 0.1).abs() < 1e-12);
         assert!((ctx.probability(0, 1) - 0.5).abs() < 1e-12);
         assert!((ctx.probability(1, 2) - 0.9).abs() < 1e-12);

@@ -43,7 +43,9 @@ pub(crate) fn sample_cl_edges(
 ) -> (AttributedGraph, Vec<Edge>) {
     let mut graph = AttributedGraph::new(n, schema);
     let mut order = Vec::with_capacity(target_edges);
-    let max_attempts = MAX_ATTEMPT_FACTOR.saturating_mul(target_edges).saturating_add(1_000);
+    let max_attempts = MAX_ATTEMPT_FACTOR
+        .saturating_mul(target_edges)
+        .saturating_add(1_000);
     let mut attempts = 0usize;
     while graph.num_edges() < target_edges && attempts < max_attempts {
         attempts += 1;
@@ -83,7 +85,11 @@ impl ChungLuModel {
             ));
         }
         let target_edges = (total as f64 / 2.0).round() as usize;
-        Ok(Self { degrees, target_edges, postprocess_orphans: false })
+        Ok(Self {
+            degrees,
+            target_edges,
+            postprocess_orphans: false,
+        })
     }
 
     /// Enables the orphan-node post-processing extension (Algorithm 2): the
@@ -114,8 +120,14 @@ impl ChungLuModel {
     ) -> Result<AttributedGraph> {
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
         let pi = PiSampler::from_degrees(&self.degrees)?;
-        let (mut graph, _order) =
-            sample_cl_edges(self.degrees.len(), &pi, self.target_edges, schema, acceptance, rng);
+        let (mut graph, _order) = sample_cl_edges(
+            self.degrees.len(),
+            &pi,
+            self.target_edges,
+            schema,
+            acceptance,
+            rng,
+        );
         if let Some(ctx) = acceptance {
             ctx.apply_attributes(&mut graph)?;
         }
@@ -207,7 +219,10 @@ mod tests {
             d0 += g.degree(0);
             d_rest += g.degree(100);
         }
-        assert!(d0 > 10 * d_rest.max(1), "hub degree {d0} vs leaf degree {d_rest}");
+        assert!(
+            d0 > 10 * d_rest.max(1),
+            "hub degree {d0} vs leaf degree {d_rest}"
+        );
     }
 
     #[test]
@@ -247,10 +262,15 @@ mod tests {
         for d in degrees.iter_mut().take(30) {
             *d = 8;
         }
-        let model = ChungLuModel::new(degrees).unwrap().with_orphan_postprocessing(true);
+        let model = ChungLuModel::new(degrees)
+            .unwrap()
+            .with_orphan_postprocessing(true);
         let mut rng = StdRng::seed_from_u64(5);
         let g = model.generate(&mut rng).unwrap();
-        assert!(agmdp_graph::components::is_connected(&g), "post-processed graph must be connected");
+        assert!(
+            agmdp_graph::components::is_connected(&g),
+            "post-processed graph must be connected"
+        );
         g.check_consistency().unwrap();
     }
 

@@ -36,8 +36,14 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        assert!(ModelError::InvalidDegreeSequence("empty".into()).to_string().contains("empty"));
-        assert!(ModelError::InvalidParameter("rho".into()).to_string().contains("rho"));
-        assert!(ModelError::AcceptanceMismatch("len".into()).to_string().contains("len"));
+        assert!(ModelError::InvalidDegreeSequence("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(ModelError::InvalidParameter("rho".into())
+            .to_string()
+            .contains("rho"));
+        assert!(ModelError::AcceptanceMismatch("len".into())
+            .to_string()
+            .contains("len"));
     }
 }

@@ -35,8 +35,7 @@ impl PiSampler {
     /// `exclude_up_to` (e.g. `1` to exclude degree-one nodes, as the orphan
     /// extension requires).
     pub fn from_degrees_excluding(degrees: &[usize], exclude_up_to: usize) -> Result<Self> {
-        let total: usize =
-            degrees.iter().filter(|&&d| d > exclude_up_to).sum();
+        let total: usize = degrees.iter().filter(|&&d| d > exclude_up_to).sum();
         if total == 0 {
             return Err(ModelError::InvalidDegreeSequence(
                 "no node has a positive (non-excluded) desired degree".to_string(),

@@ -51,7 +51,9 @@ pub fn wire_orphans<R: Rng + ?Sized>(
         if comps.count() <= 1 {
             return;
         }
-        let main_id = comps.largest().expect("non-empty graph has a largest component");
+        let main_id = comps
+            .largest()
+            .expect("non-empty graph has a largest component");
         let mut in_main: Vec<bool> = comps.labels.iter().map(|&l| l == main_id).collect();
         let orphans = comps.orphaned_nodes();
 
@@ -68,7 +70,9 @@ pub fn wire_orphans<R: Rng + ?Sized>(
             let want = desired_degrees[vi as usize].max(1);
             for _ in 0..want {
                 if let Some(vk) = pick_partner(graph, desired_degrees, &in_main, vi, pi, rng) {
-                    graph.add_edge(vi, vk).expect("partner is distinct and unconnected");
+                    graph
+                        .add_edge(vi, vk)
+                        .expect("partner is distinct and unconnected");
                     in_main[vi as usize] = true;
                     if graph.num_edges() > target_edges {
                         remove_random_edge(graph, vi, rng);
@@ -231,7 +235,12 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
 
         let mut g2 = AttributedGraph::unattributed(2);
-        wire_orphans(&mut g2, &[1, 1], &PiSampler::from_degrees(&[1, 1]).unwrap(), &mut rng);
+        wire_orphans(
+            &mut g2,
+            &[1, 1],
+            &PiSampler::from_degrees(&[1, 1]).unwrap(),
+            &mut rng,
+        );
         assert!(is_connected(&g2));
     }
 

@@ -54,7 +54,11 @@ impl TclModel {
                 "transitive closure probability must lie in [0, 1], got {rho}"
             )));
         }
-        Ok(Self { degrees, rho, max_iteration_factor: 60 })
+        Ok(Self {
+            degrees,
+            rho,
+            max_iteration_factor: 60,
+        })
     }
 
     /// Fits a TCL model to an input graph: degrees are read off directly and ρ
@@ -101,16 +105,22 @@ impl TclModel {
         let mut ages: VecDeque<Edge> = order.into();
 
         let mut replaced = 0usize;
-        let max_iterations =
-            self.max_iteration_factor.saturating_mul(m).saturating_add(1_000);
+        let max_iterations = self
+            .max_iteration_factor
+            .saturating_mul(m)
+            .saturating_add(1_000);
         let mut iterations = 0usize;
         while replaced < seed_count && iterations < max_iterations {
             iterations += 1;
             let vi = pi.sample(rng);
             let vj = if rng.gen::<f64>() < self.rho {
                 // Transitive: friend of a friend of vi.
-                let Some(&vk) = sample_uniform(graph.neighbors(vi), rng) else { continue };
-                let Some(&vj) = sample_uniform(graph.neighbors(vk), rng) else { continue };
+                let Some(&vk) = sample_uniform(graph.neighbors(vi), rng) else {
+                    continue;
+                };
+                let Some(&vj) = sample_uniform(graph.neighbors(vk), rng) else {
+                    continue;
+                };
                 vj
             } else {
                 pi.sample(rng)
@@ -123,9 +133,13 @@ impl TclModel {
                     continue;
                 }
             }
-            let Some(oldest) = ages.pop_front() else { break };
+            let Some(oldest) = ages.pop_front() else {
+                break;
+            };
             if graph.has_edge(oldest.u, oldest.v) {
-                graph.remove_edge(oldest.u, oldest.v).expect("presence just checked");
+                graph
+                    .remove_edge(oldest.u, oldest.v)
+                    .expect("presence just checked");
             }
             graph.add_edge(vi, vj).expect("non-edge just checked");
             ages.push_back(Edge::new(vi, vj));
@@ -299,11 +313,16 @@ mod tests {
         use crate::chung_lu::ChungLuModel;
         let input = clustered_graph(12, 6);
         let tcl = TclModel::fit(&input, 10).unwrap();
-        assert!(tcl.rho() > 0.2, "clustered input should yield substantial rho");
+        assert!(
+            tcl.rho() > 0.2,
+            "clustered input should yield substantial rho"
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let tcl_graph = tcl.generate(&mut rng).unwrap();
-        let cl_graph =
-            ChungLuModel::new(input.degrees()).unwrap().generate(&mut rng).unwrap();
+        let cl_graph = ChungLuModel::new(input.degrees())
+            .unwrap()
+            .generate(&mut rng)
+            .unwrap();
         assert!(count_triangles(&tcl_graph) > count_triangles(&cl_graph));
         assert!(average_local_clustering(&tcl_graph) > average_local_clustering(&cl_graph));
     }
@@ -327,8 +346,10 @@ mod tests {
         let model = TclModel::new(vec![4; n], 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let g = model.generate_with_acceptance(&ctx, &mut rng).unwrap();
-        let mixed =
-            g.edges().filter(|e| g.attribute_code(e.u) != g.attribute_code(e.v)).count();
+        let mixed = g
+            .edges()
+            .filter(|e| g.attribute_code(e.u) != g.attribute_code(e.v))
+            .count();
         assert_eq!(mixed, 0);
         // Mismatched context is rejected.
         let bad_ctx = AcceptanceContext::new(vec![0, 1], schema, vec![1.0; 3]).unwrap();

@@ -142,8 +142,12 @@ impl TriCycLeModel {
         while tau < self.target_triangles && iterations < max_iterations {
             iterations += 1;
             let vi = pi.sample(rng);
-            let Some(&vk) = sample_uniform(graph.neighbors(vi), rng) else { continue };
-            let Some(&vj) = sample_uniform(graph.neighbors(vk), rng) else { continue };
+            let Some(&vk) = sample_uniform(graph.neighbors(vi), rng) else {
+                continue;
+            };
+            let Some(&vj) = sample_uniform(graph.neighbors(vk), rng) else {
+                continue;
+            };
             if vj == vi || graph.has_edge(vi, vj) {
                 continue;
             }
@@ -153,9 +157,13 @@ impl TriCycLeModel {
                 }
             }
             // Oldest still-present edge to replace.
-            let Some(eqr) = pop_oldest_present(&mut ages, &graph) else { break };
+            let Some(eqr) = pop_oldest_present(&mut ages, &graph) else {
+                break;
+            };
             let cn_qr = graph.common_neighbor_count(eqr.u, eqr.v) as u64;
-            graph.remove_edge(eqr.u, eqr.v).expect("edge presence was just checked");
+            graph
+                .remove_edge(eqr.u, eqr.v)
+                .expect("edge presence was just checked");
             let cn_ij = graph.common_neighbor_count(vi, vj) as u64;
             if cn_ij >= cn_qr {
                 graph.add_edge(vi, vj).expect("non-edge was just checked");
@@ -246,7 +254,9 @@ mod tests {
     fn reaches_the_triangle_target_when_feasible() {
         let degrees = test_degrees(150);
         let target = 120u64;
-        let model = TriCycLeModel::new(degrees, target).unwrap().with_orphan_extension(false);
+        let model = TriCycLeModel::new(degrees, target)
+            .unwrap()
+            .with_orphan_extension(false);
         let mut rng = StdRng::seed_from_u64(11);
         let g = model.generate(&mut rng).unwrap();
         let triangles = count_triangles(&g);
@@ -263,9 +273,14 @@ mod tests {
         let degrees = test_degrees(200);
         let target = 250u64;
         let mut rng = StdRng::seed_from_u64(12);
-        let tri =
-            TriCycLeModel::new(degrees.clone(), target).unwrap().generate(&mut rng).unwrap();
-        let cl = ChungLuModel::new(degrees).unwrap().generate(&mut rng).unwrap();
+        let tri = TriCycLeModel::new(degrees.clone(), target)
+            .unwrap()
+            .generate(&mut rng)
+            .unwrap();
+        let cl = ChungLuModel::new(degrees)
+            .unwrap()
+            .generate(&mut rng)
+            .unwrap();
         assert!(
             count_triangles(&tri) > count_triangles(&cl),
             "TriCycLe should create more triangles than CL"
@@ -296,7 +311,10 @@ mod tests {
         let model = TriCycLeModel::new(degrees, 60).unwrap();
         let mut rng = StdRng::seed_from_u64(14);
         let g = model.generate(&mut rng).unwrap();
-        assert!(is_connected(&g), "orphan extension must produce a connected graph");
+        assert!(
+            is_connected(&g),
+            "orphan extension must produce a connected graph"
+        );
     }
 
     #[test]
@@ -320,8 +338,9 @@ mod tests {
         let codes: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 2 == 0)).collect();
         // Forbid mixed (0,1) edges: homophily taken to the extreme.
         let ctx = AcceptanceContext::new(codes, schema, vec![1.0, 0.0, 1.0]).unwrap();
-        let model =
-            TriCycLeModel::new(degrees, 200).unwrap().with_orphan_extension(false);
+        let model = TriCycLeModel::new(degrees, 200)
+            .unwrap()
+            .with_orphan_extension(false);
         let mut rng = StdRng::seed_from_u64(16);
         let g = model.generate_with_acceptance(&ctx, &mut rng).unwrap();
         let mixed = g

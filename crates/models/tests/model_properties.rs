@@ -120,7 +120,9 @@ proptest! {
 /// statistic it is parameterised by.
 #[test]
 fn tricycle_triangles_increase_with_target() {
-    let degrees: Vec<usize> = (0..200).map(|i| 3 + (200 / (3 * (i + 1))).min(10)).collect();
+    let degrees: Vec<usize> = (0..200)
+        .map(|i| 3 + (200 / (3 * (i + 1))).min(10))
+        .collect();
     let mut rng = StdRng::seed_from_u64(7);
     let mean_triangles = |target: u64, rng: &mut StdRng| -> f64 {
         (0..3)

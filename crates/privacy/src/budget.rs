@@ -29,7 +29,10 @@ impl PrivacyBudget {
         if !(total_epsilon.is_finite() && total_epsilon > 0.0) {
             return Err(PrivacyError::InvalidEpsilon(total_epsilon));
         }
-        Ok(Self { total: total_epsilon, spent: 0.0 })
+        Ok(Self {
+            total: total_epsilon,
+            spent: 0.0,
+        })
     }
 
     /// The total budget ε.
@@ -97,7 +100,12 @@ impl BudgetSplit {
             return Err(PrivacyError::InvalidEpsilon(total_epsilon));
         }
         let q = total_epsilon / 4.0;
-        Ok(Self { attributes: q, correlations: q, degree_sequence: q, triangles: q })
+        Ok(Self {
+            attributes: q,
+            correlations: q,
+            degree_sequence: q,
+            triangles: q,
+        })
     }
 
     /// The split used for AGM-DP-FCL in Section 5: half the budget for the
@@ -134,7 +142,12 @@ impl BudgetSplit {
                 "at least one budget component must be positive".to_string(),
             ));
         }
-        Ok(Self { attributes, correlations, degree_sequence, triangles })
+        Ok(Self {
+            attributes,
+            correlations,
+            degree_sequence,
+            triangles,
+        })
     }
 
     /// Total ε consumed by this split (by sequential composition).
@@ -163,7 +176,10 @@ mod tests {
         assert!((b.spent() - 0.5).abs() < 1e-12);
         assert!((b.remaining() - 0.5).abs() < 1e-12);
         b.spend(0.5).unwrap();
-        assert!(matches!(b.spend(0.01), Err(PrivacyError::BudgetExceeded { .. })));
+        assert!(matches!(
+            b.spend(0.01),
+            Err(PrivacyError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

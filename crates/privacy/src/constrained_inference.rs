@@ -98,7 +98,10 @@ mod tests {
         // Classic example: [3, 1] -> [2, 2].
         assert_eq!(isotonic_regression(&[3.0, 1.0]), vec![2.0, 2.0]);
         // [1, 3, 2, 4] -> [1, 2.5, 2.5, 4].
-        assert_eq!(isotonic_regression(&[1.0, 3.0, 2.0, 4.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            isotonic_regression(&[1.0, 3.0, 2.0, 4.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 
     #[test]
@@ -165,7 +168,10 @@ mod tests {
         let mut inferred_err = 0.0;
         let trials = 30;
         for _ in 0..trials {
-            let noisy: Vec<f64> = sorted_truth.iter().map(|&d| mech.randomize(d, &mut rng)).collect();
+            let noisy: Vec<f64> = sorted_truth
+                .iter()
+                .map(|&d| mech.randomize(d, &mut rng))
+                .collect();
             let inferred = isotonic_regression(&noisy);
             raw_err += noisy
                 .iter()

@@ -35,12 +35,18 @@ impl fmt::Display for PrivacyError {
                 write!(f, "sensitivity must be positive and finite, got {s}")
             }
             PrivacyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            PrivacyError::BudgetExceeded { requested, remaining } => write!(
+            PrivacyError::BudgetExceeded {
+                requested,
+                remaining,
+            } => write!(
                 f,
                 "privacy budget exceeded: requested epsilon {requested}, only {remaining} remaining"
             ),
             PrivacyError::EmptyCandidateSet => {
-                write!(f, "the exponential mechanism requires at least one candidate")
+                write!(
+                    f,
+                    "the exponential mechanism requires at least one candidate"
+                )
             }
         }
     }
@@ -54,13 +60,24 @@ mod tests {
 
     #[test]
     fn messages_mention_values() {
-        assert!(PrivacyError::InvalidEpsilon(-1.0).to_string().contains("-1"));
-        assert!(PrivacyError::InvalidDelta(2.0).to_string().contains('2'));
-        assert!(PrivacyError::InvalidSensitivity(0.0).to_string().contains('0'));
-        assert!(PrivacyError::InvalidParameter("k".into()).to_string().contains('k'));
-        assert!(PrivacyError::BudgetExceeded { requested: 1.0, remaining: 0.5 }
+        assert!(PrivacyError::InvalidEpsilon(-1.0)
             .to_string()
-            .contains("0.5"));
-        assert!(PrivacyError::EmptyCandidateSet.to_string().contains("candidate"));
+            .contains("-1"));
+        assert!(PrivacyError::InvalidDelta(2.0).to_string().contains('2'));
+        assert!(PrivacyError::InvalidSensitivity(0.0)
+            .to_string()
+            .contains('0'));
+        assert!(PrivacyError::InvalidParameter("k".into())
+            .to_string()
+            .contains('k'));
+        assert!(PrivacyError::BudgetExceeded {
+            requested: 1.0,
+            remaining: 0.5
+        }
+        .to_string()
+        .contains("0.5"));
+        assert!(PrivacyError::EmptyCandidateSet
+            .to_string()
+            .contains("candidate"));
     }
 }

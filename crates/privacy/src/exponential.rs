@@ -41,7 +41,10 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
         ));
     }
     let factor = epsilon / (2.0 * sensitivity);
-    let weights: Vec<f64> = scores.iter().map(|&s| ((s - max_score) * factor).exp()).collect();
+    let weights: Vec<f64> = scores
+        .iter()
+        .map(|&s| ((s - max_score) * factor).exp())
+        .collect();
     Ok(sample_weighted_index(&weights, rng))
 }
 
@@ -115,7 +118,10 @@ mod tests {
             }
         }
         let frac = second as f64 / trials as f64;
-        assert!((frac - 0.5).abs() < 0.02, "expected near-uniform selection, got {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "expected near-uniform selection, got {frac}"
+        );
     }
 
     #[test]

@@ -143,7 +143,12 @@ pub fn dp_triangle_count<R: Rng + ?Sized>(
         (true_count as f64 + sign * magnitude.ceil()).max(0.0)
     };
 
-    Ok(LadderOutcome { estimate, true_count, local_sensitivity: ls0, rung })
+    Ok(LadderOutcome {
+        estimate,
+        true_count,
+        local_sensitivity: ls0,
+        rung,
+    })
 }
 
 #[cfg(test)]
@@ -175,8 +180,14 @@ mod tests {
         path.add_edge(2, 3).unwrap();
         assert_eq!(triangle_local_sensitivity(&path), 1);
         // No edges, or too few nodes, -> 0.
-        assert_eq!(triangle_local_sensitivity(&AttributedGraph::unattributed(10)), 0);
-        assert_eq!(triangle_local_sensitivity(&AttributedGraph::unattributed(2)), 0);
+        assert_eq!(
+            triangle_local_sensitivity(&AttributedGraph::unattributed(10)),
+            0
+        );
+        assert_eq!(
+            triangle_local_sensitivity(&AttributedGraph::unattributed(2)),
+            0
+        );
         // Star: any two leaves share exactly the hub.
         let mut star = AttributedGraph::unattributed(6);
         for v in 1..6 {

@@ -24,11 +24,15 @@ use crate::Result;
 ///
 /// Debug-asserts that `b` is positive and finite.
 pub fn sample_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    debug_assert!(scale.is_finite() && scale > 0.0, "Laplace scale must be positive");
-    // Uniform in (-0.5, 0.5]; guard the boundary to avoid ln(0).
+    debug_assert!(
+        scale.is_finite() && scale > 0.0,
+        "Laplace scale must be positive"
+    );
+    // `gen::<f64>()` is uniform in [0, 1), so u is in [-0.5, 0.5); guard the
+    // reachable -0.5 endpoint to avoid ln(0) = -inf.
     let mut u: f64 = rng.gen::<f64>() - 0.5;
-    if u == 0.5 {
-        u = 0.499_999_999_999;
+    if u == -0.5 {
+        u = -0.499_999_999_999;
     }
     let magnitude = (1.0 - 2.0 * u.abs()).ln();
     -scale * u.signum() * magnitude
@@ -52,7 +56,10 @@ impl LaplaceMechanism {
         if !(sensitivity.is_finite() && sensitivity > 0.0) {
             return Err(PrivacyError::InvalidSensitivity(sensitivity));
         }
-        Ok(Self { epsilon, sensitivity })
+        Ok(Self {
+            epsilon,
+            sensitivity,
+        })
     }
 
     /// The privacy parameter ε.
@@ -137,15 +144,20 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "empirical mean {mean} too far from 0");
-        assert!((var - 2.0 * b * b).abs() / (2.0 * b * b) < 0.05, "variance {var} off");
+        assert!(
+            (var - 2.0 * b * b).abs() / (2.0 * b * b) < 0.05,
+            "variance {var} off"
+        );
     }
 
     #[test]
     fn sample_sign_is_balanced() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
-        let positives =
-            (0..n).filter(|_| sample_laplace(&mut rng, 1.0) > 0.0).count() as f64 / n as f64;
+        let positives = (0..n)
+            .filter(|_| sample_laplace(&mut rng, 1.0) > 0.0)
+            .count() as f64
+            / n as f64;
         assert!((positives - 0.5).abs() < 0.01);
     }
 

@@ -93,7 +93,12 @@ mod tests {
     #[test]
     fn average_is_correct_with_negligible_noise() {
         let mut rng = StdRng::seed_from_u64(1);
-        let groups = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5], vec![0.5, 0.5]];
+        let groups = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ];
         let out = aggregate_with_noise(&groups, 2.0, 1e9, &mut rng).unwrap();
         assert!((out[0] - 0.5).abs() < 1e-6);
         assert!((out[1] - 0.5).abs() < 1e-6);
@@ -110,8 +115,7 @@ mod tests {
             let groups = vec![vec![0.0; dim]; num_groups];
             let mut total = 0.0;
             for trial in 0..50 {
-                let out =
-                    aggregate_with_noise(&groups, 2.0, epsilon, &mut rng).unwrap();
+                let out = aggregate_with_noise(&groups, 2.0, epsilon, &mut rng).unwrap();
                 let _ = trial;
                 total += out.iter().map(|v| v.abs()).sum::<f64>();
             }
@@ -119,7 +123,10 @@ mod tests {
         };
         let few = measure(2, 7);
         let many = measure(200, 7);
-        assert!(many < few / 10.0, "noise with 200 groups ({many}) vs 2 groups ({few})");
+        assert!(
+            many < few / 10.0,
+            "noise with 200 groups ({many}) vs 2 groups ({few})"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl SmoothLaplaceMechanism {
         if !(smooth_sensitivity.is_finite() && smooth_sensitivity > 0.0) {
             return Err(PrivacyError::InvalidSensitivity(smooth_sensitivity));
         }
-        Ok(Self { epsilon, delta, smooth_sensitivity })
+        Ok(Self {
+            epsilon,
+            delta,
+            smooth_sensitivity,
+        })
     }
 
     /// ε of the (ε, δ) guarantee.
@@ -186,7 +190,10 @@ mod tests {
             for &b in &[0.001, 0.05, 0.5, 5.0] {
                 let s = smooth_sensitivity_qf(d, n, b);
                 let ls = (2.0 * d as f64).min(2.0 * n as f64 - 2.0);
-                assert!(s + 1e-9 >= ls, "S*={s} < LS={ls} for d={d}, n={n}, beta={b}");
+                assert!(
+                    s + 1e-9 >= ls,
+                    "S*={s} < LS={ls} for d={d}, n={n}, beta={b}"
+                );
             }
         }
     }
@@ -222,6 +229,9 @@ mod tests {
         let m = SmoothLaplaceMechanism::new(1.0, 0.01, 5.0).unwrap();
         let mut r1 = StdRng::seed_from_u64(11);
         let mut r2 = StdRng::seed_from_u64(11);
-        assert_eq!(m.randomize_vec(&[1.0, 2.0], &mut r1), m.randomize_vec(&[1.0, 2.0], &mut r2));
+        assert_eq!(
+            m.randomize_vec(&[1.0, 2.0], &mut r1),
+            m.randomize_vec(&[1.0, 2.0], &mut r2)
+        );
     }
 }

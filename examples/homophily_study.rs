@@ -25,11 +25,18 @@ fn main() {
         spec.name,
         graph.num_nodes(),
         graph.num_edges(),
-        truth.probabilities().iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        truth
+            .probabilities()
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
     println!();
     println!("Mean absolute error of the private Theta_F estimate (20 trials per cell)");
-    println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "epsilon", "EdgeTrunc", "Smooth", "S&A", "Laplace");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "epsilon", "EdgeTrunc", "Smooth", "S&A", "Laplace"
+    );
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let trials = 20;

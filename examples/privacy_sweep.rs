@@ -40,10 +40,15 @@ fn main() {
     ];
 
     for (label, privacy) in settings {
-        for (model, name) in
-            [(StructuralModelKind::Fcl, "AGM-FCL"), (StructuralModelKind::TriCycLe, "AGM-TriCL")]
-        {
-            let config = AgmConfig { privacy, model, ..AgmConfig::default() };
+        for (model, name) in [
+            (StructuralModelKind::Fcl, "AGM-FCL"),
+            (StructuralModelKind::TriCycLe, "AGM-TriCL"),
+        ] {
+            let config = AgmConfig {
+                privacy,
+                model,
+                ..AgmConfig::default()
+            };
             let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
             for _ in 0..trials {
                 let synth = synthesize(&input, &config, &mut rng).expect("synthesis succeeds");

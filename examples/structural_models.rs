@@ -46,7 +46,10 @@ fn main() {
         .with_orphan_postprocessing(true)
         .generate(&mut rng)
         .unwrap();
-    let tcl = TclModel::fit(&input, 10).unwrap().generate(&mut rng).unwrap();
+    let tcl = TclModel::fit(&input, 10)
+        .unwrap()
+        .generate(&mut rng)
+        .unwrap();
     let tricycle = TriCycLeModel::new(degrees, count_triangles(&input))
         .unwrap()
         .generate(&mut rng)
@@ -60,7 +63,10 @@ fn main() {
     // A coarse CCDF table of local clustering coefficients (Figure 3's y-axis).
     println!();
     println!("fraction of nodes with local clustering coefficient > c:");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "c", "input", "FCL", "TCL", "TriCycLe");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "c", "input", "FCL", "TCL", "TriCycLe"
+    );
     let curves: Vec<Vec<agmdp::metrics::CcdfPoint>> = [&input, &fcl, &tcl, &tricycle]
         .iter()
         .map(|g| ccdf_points(&local_clustering_coefficients(g)))

@@ -63,7 +63,10 @@ fn main() -> ExitCode {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -78,7 +81,10 @@ fn print_stats(graph: &AttributedGraph) {
     println!("max degree          : {}", graph.max_degree());
     println!("avg degree          : {:.2}", graph.avg_degree());
     println!("triangles           : {}", count_triangles(graph));
-    println!("avg local clustering: {:.4}", average_local_clustering(graph));
+    println!(
+        "avg local clustering: {:.4}",
+        average_local_clustering(graph)
+    );
     println!("global clustering   : {:.4}", global_clustering(graph));
     println!("connected components: {}", comps.count());
     if graph.schema().width() > 0 {
@@ -117,11 +123,18 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     let model = match flag_value(args, "--model").as_deref() {
         None | Some("tricycle") => StructuralModelKind::TriCycLe,
         Some("fcl") => StructuralModelKind::Fcl,
-        Some(other) => return Err(format!("unknown model '{other}' (expected fcl or tricycle)")),
+        Some(other) => {
+            return Err(format!(
+                "unknown model '{other}' (expected fcl or tricycle)"
+            ))
+        }
     };
     let k = match flag_value(args, "--k") {
         None => None,
-        Some(v) => Some(v.parse::<usize>().map_err(|_| "--k must be a positive integer")?),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| "--k must be a positive integer")?,
+        ),
     };
     let correlation_method = match flag_value(args, "--method").as_deref() {
         None | Some("truncation") => CorrelationMethod::EdgeTruncation { k },
@@ -134,7 +147,9 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     };
     let refinement_iterations = match flag_value(args, "--iterations") {
         None => 3,
-        Some(v) => v.parse().map_err(|_| "--iterations must be a positive integer")?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--iterations must be a positive integer")?,
     };
     let seed: u64 = match flag_value(args, "--seed") {
         None => 2016,
@@ -178,7 +193,9 @@ fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
     let output = flag_value(args, "--output").ok_or("--output <graph> is required")?;
     let scale: f64 = match flag_value(args, "--scale") {
         None => 1.0,
-        Some(v) => v.parse().map_err(|_| "--scale must be a number in (0, 1]")?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--scale must be a number in (0, 1]")?,
     };
     let seed: u64 = match flag_value(args, "--seed") {
         None => 2016,
@@ -195,6 +212,11 @@ fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
     let graph =
         generate_dataset(&spec, seed).map_err(|e| format!("dataset generation failed: {e}"))?;
     io::write_file(&graph, &output).map_err(|e| format!("failed to write {output}: {e}"))?;
-    println!("wrote {} ({} nodes, {} edges) to {output}", spec.name, graph.num_nodes(), graph.num_edges());
+    println!(
+        "wrote {} ({} nodes, {} edges) to {output}",
+        spec.name,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     Ok(())
 }

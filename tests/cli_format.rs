@@ -23,7 +23,10 @@ fn file_based_release_workflow_roundtrips() {
     // Reload and run the private synthesis on the reloaded copy.
     let reloaded = io::read_file(&input_path).unwrap();
     assert_eq!(reloaded, input);
-    let config = AgmConfig { privacy: Privacy::Dp { epsilon: 1.0 }, ..AgmConfig::default() };
+    let config = AgmConfig {
+        privacy: Privacy::Dp { epsilon: 1.0 },
+        ..AgmConfig::default()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let synthetic = synthesize(&reloaded, &config, &mut rng).unwrap();
     io::write_file(&synthetic, &output_path).unwrap();
@@ -49,7 +52,9 @@ fn categorical_encoding_survives_synthesis_and_io() {
     for v in 0..60u32 {
         let status = ["a", "b", "c"][(v % 3) as usize];
         let bracket = if v < 30 { "low" } else { "high" };
-        graph.set_attribute_code(v, encoder.encode_labels(&[status, bracket]).unwrap()).unwrap();
+        graph
+            .set_attribute_code(v, encoder.encode_labels(&[status, bracket]).unwrap())
+            .unwrap();
     }
     for v in 0..60u32 {
         let _ = graph.try_add_edge(v, (v + 1) % 60).unwrap();
@@ -57,7 +62,10 @@ fn categorical_encoding_survives_synthesis_and_io() {
         let _ = graph.try_add_edge(v, (v + 7) % 60).unwrap();
     }
 
-    let config = AgmConfig { privacy: Privacy::Dp { epsilon: 2.0 }, ..AgmConfig::default() };
+    let config = AgmConfig {
+        privacy: Privacy::Dp { epsilon: 2.0 },
+        ..AgmConfig::default()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let synthetic = synthesize(&graph, &config, &mut rng).unwrap();
 

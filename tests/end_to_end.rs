@@ -31,13 +31,18 @@ fn full_pipeline_produces_a_publishable_graph() {
     assert_eq!(synthetic.num_nodes(), input.num_nodes());
     assert_eq!(synthetic.schema(), input.schema());
     assert!(synthetic.num_edges() > 0);
-    assert!(is_connected(&synthetic), "orphan post-processing must leave the graph connected");
+    assert!(
+        is_connected(&synthetic),
+        "orphan post-processing must leave the graph connected"
+    );
     synthetic.check_consistency().expect("internal invariants");
 
     // The synthetic graph must not simply copy the input's edge set.
-    let input_edges: std::collections::BTreeSet<_> =
-        input.edges().map(|e| (e.u, e.v)).collect();
-    let shared = synthetic.edges().filter(|e| input_edges.contains(&(e.u, e.v))).count();
+    let input_edges: std::collections::BTreeSet<_> = input.edges().map(|e| (e.u, e.v)).collect();
+    let shared = synthetic
+        .edges()
+        .filter(|e| input_edges.contains(&(e.u, e.v)))
+        .count();
     assert!(
         (shared as f64) < 0.9 * input.num_edges() as f64,
         "synthetic graph shares {shared} of {} input edges — too close to a copy",
@@ -62,8 +67,11 @@ fn non_private_mode_is_more_faithful_than_strong_privacy() {
     let trials = 3;
 
     let mean_hellinger = |privacy: Privacy, rng: &mut Rng| {
-        let config =
-            AgmConfig { privacy, model: StructuralModelKind::TriCycLe, ..AgmConfig::default() };
+        let config = AgmConfig {
+            privacy,
+            model: StructuralModelKind::TriCycLe,
+            ..AgmConfig::default()
+        };
         let truth = ThetaF::from_graph(&input);
         (0..trials)
             .map(|_| {
@@ -114,8 +122,11 @@ fn tricycle_preserves_clustering_far_better_than_fcl_under_dp() {
     let mut rng = Rng::seed_from_u64(4);
     let epsilon = 1.0;
     let clustering_error = |model: StructuralModelKind, rng: &mut Rng| {
-        let config =
-            AgmConfig { privacy: Privacy::Dp { epsilon }, model, ..AgmConfig::default() };
+        let config = AgmConfig {
+            privacy: Privacy::Dp { epsilon },
+            model,
+            ..AgmConfig::default()
+        };
         let synth = synthesize(&input, &config, rng).expect("synthesis");
         let truth = average_local_clustering(&input);
         (average_local_clustering(&synth) - truth).abs() / truth
@@ -131,7 +142,10 @@ fn tricycle_preserves_clustering_far_better_than_fcl_under_dp() {
 #[test]
 fn learned_parameters_expose_consistent_dimensions() {
     let input = small_input();
-    let config = AgmConfig { privacy: Privacy::Dp { epsilon: 0.5 }, ..AgmConfig::default() };
+    let config = AgmConfig {
+        privacy: Privacy::Dp { epsilon: 0.5 },
+        ..AgmConfig::default()
+    };
     let mut rng = Rng::seed_from_u64(5);
     let params = agmdp::core::workflow::learn_parameters(&input, &config, &mut rng).unwrap();
     assert_eq!(params.num_nodes, input.num_nodes());

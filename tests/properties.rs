@@ -13,10 +13,7 @@ use proptest::prelude::*;
 
 /// Builds an arbitrary attributed graph from a node count, an edge pool and
 /// attribute codes.
-fn arbitrary_graph(
-    max_nodes: usize,
-    max_edges: usize,
-) -> impl Strategy<Value = AttributedGraph> {
+fn arbitrary_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = AttributedGraph> {
     (2usize..max_nodes).prop_flat_map(move |n| {
         let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges);
         let codes = proptest::collection::vec(0u32..4, n);

@@ -1,0 +1,246 @@
+//! Offline, API-compatible subset of
+//! [`criterion`](https://crates.io/crates/criterion), vendored because the
+//! build environment has no access to crates.io.
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `finish`),
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! mean-of-samples measurement instead of upstream's full statistical
+//! analysis. Each sample runs enough iterations to cover ~1 ms of wall
+//! clock; the per-iteration mean over all samples is reported.
+//!
+//! Setting the environment variable `AGMDP_BENCH_JSON=<path>` writes the
+//! collected measurements as a JSON array (used to record perf baselines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(1);
+/// Soft cap on the total measuring time of one benchmark.
+const BENCH_TIME_CAP: Duration = Duration::from_secs(3);
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/function`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// The benchmark driver: runs benchmark closures and collects measurements.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), 10, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        let Some((mean_ns, iters_per_sample, samples)) = bencher.measured else {
+            eprintln!("warning: benchmark `{name}` never called Bencher::iter");
+            return;
+        };
+        println!(
+            "{name:<55} time: {} ({iters_per_sample} iters x {samples} samples)",
+            format_ns(mean_ns)
+        );
+        self.results.push(Measurement {
+            name,
+            mean_ns,
+            iters_per_sample,
+            samples,
+        });
+    }
+
+    /// Prints the summary and honours `AGMDP_BENCH_JSON`. Called by
+    /// [`criterion_main!`] after all groups have run.
+    pub fn final_summary(self) {
+        if let Ok(path) = std::env::var("AGMDP_BENCH_JSON") {
+            let mut json = String::from("[\n");
+            for (i, m) in self.results.iter().enumerate() {
+                if i > 0 {
+                    json.push_str(",\n");
+                }
+                json.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
+                    m.name.replace('"', "'"),
+                    m.mean_ns,
+                    m.iters_per_sample,
+                    m.samples
+                ));
+            }
+            json.push_str("\n]\n");
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("wrote {} measurements to {path}", self.results.len()),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        self.criterion.run(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the vendored subset sets up one input per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input: upstream batches many per allocation.
+    SmallInput,
+    /// Large input: upstream batches few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times a closure.
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<(f64, u64, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Shared measurement loop: calibrates iterations per sample against
+    /// `SAMPLE_TARGET`, then times `sample_size` samples (bounded by
+    /// `BENCH_TIME_CAP`).
+    fn measure<F: FnMut(u64) -> Duration>(&mut self, mut run: F) {
+        let warmup = run(1).max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / warmup.as_nanos()).clamp(1, 100_000) as u64;
+        let per_sample = warmup * iters as u32;
+        let affordable = (BENCH_TIME_CAP.as_nanos() / per_sample.as_nanos().max(1)).max(2) as u64;
+        let samples = (self.sample_size as u64).min(affordable).max(2);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..samples {
+            total += run(iters);
+        }
+        let mean_ns = total.as_nanos() as f64 / (samples * iters) as f64;
+        self.measured = Some((mean_ns, iters, samples));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>9.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>9.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>9.3} us", ns / 1e3)
+    } else {
+        format!("{ns:>9.1} ns")
+    }
+}
+
+/// Defines a benchmark group function from one or more `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench/test pass harness flags (--bench, --test); the
+            // vendored subset has no CLI and ignores them.
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,194 @@
+//! Offline, API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest), vendored because the
+//! build environment has no access to crates.io.
+//!
+//! Provides the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait over ranges / tuples / [`strategy::Just`] /
+//! `prop_map` / `prop_flat_map`, [`collection::vec`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike upstream, failing inputs are not shrunk: the failing case is
+//! reported as generated. Generation is fully deterministic per test (the
+//! RNG is seeded from the test's module path and name), so failures
+//! reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __strats = ( $( $strat, )* );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(20).max(1_000) {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({} attempts for {} target cases)",
+                            stringify!($name), __attempts, __config.cases
+                        );
+                    }
+                    let ( $( $arg, )* ) = {
+                        let ( $( ref $arg, )* ) = __strats;
+                        ( $( $crate::strategy::Strategy::generate($arg, &mut __rng), )* )
+                    };
+                    // Render the inputs up front: the body takes ownership of
+                    // the values, so they are gone by the time a case fails.
+                    let __inputs: String = [
+                        $( format!("  {} = {:?}", stringify!($arg), &$arg), )*
+                    ]
+                    .join("\n");
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })) {
+                            ::std::result::Result::Ok(res) => res,
+                            ::std::result::Result::Err(payload) => {
+                                // A raw panic (unwrap/assert!) inside the body:
+                                // surface the generated inputs before rethrowing.
+                                eprintln!(
+                                    "proptest `{}` panicked at case {}/{} with inputs:\n{}",
+                                    stringify!($name), __accepted + 1, __config.cases, __inputs
+                                );
+                                ::std::panic::resume_unwind(payload);
+                            }
+                        };
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}/{}:\n{}\nwith inputs:\n{}",
+                                stringify!($name), __accepted + 1, __config.cases, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} — {} ({}:{})",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), __l, __r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` — {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), format!($($fmt)+), __l, __r, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated and not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

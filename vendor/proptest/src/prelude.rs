@@ -1,0 +1,5 @@
+//! The common imports: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,31 @@
+//! Concrete generators.
+
+use crate::chacha::ChaChaCore;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic RNG: ChaCha with 12 rounds, the
+/// same algorithm upstream `rand 0.8` uses for its `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaChaCore<6>);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest);
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self(ChaChaCore::from_seed(seed))
+    }
+}

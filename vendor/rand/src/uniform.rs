@@ -1,0 +1,128 @@
+//! Uniform range sampling for `Rng::gen_range`.
+//!
+//! Mirrors upstream rand's structure — a single generic `SampleRange` impl
+//! per range type over a `SampleUniform` element trait — so integer-literal
+//! inference behaves like upstream (`rng.gen_range(0..3)` unifies with the
+//! surrounding usage context).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Element types `gen_range` can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges a value of type `T` can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Largest multiple of `span` that fits in u64; reject draws above it.
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let draw = rng.next_u64();
+        if draw <= zone {
+            return draw % span;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                let offset = uniform_u64_below(rng, span);
+                ((lo as i128) + offset as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Whole-domain range: a raw draw is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_u64_below(rng, span as u64);
+                ((lo as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                /// Largest finite float strictly below `x` (sign-aware).
+                fn prev_float(x: $t) -> $t {
+                    if x > 0.0 {
+                        <$t>::from_bits(x.to_bits() - 1)
+                    } else if x == 0.0 {
+                        // Next value below ±0.0 is the smallest negative subnormal.
+                        -<$t>::from_bits(1)
+                    } else {
+                        // Negative floats: incrementing the bit pattern moves
+                        // away from zero, i.e. downward.
+                        <$t>::from_bits(x.to_bits() + 1)
+                    }
+                }
+                let unit = <$t as crate::StandardSample>::sample_standard(rng);
+                let value = lo + (hi - lo) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if value >= hi {
+                    prev_float(hi).max(lo)
+                } else {
+                    value
+                }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit = <$t as crate::StandardSample>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);

@@ -1,0 +1,56 @@
+//! Offline, API-compatible subset of the
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) crate, vendored
+//! because the build environment has no access to crates.io. Backed by the
+//! ChaCha core in the vendored `rand` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::chacha::ChaChaCore;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $double_rounds:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(ChaChaCore<$double_rounds>);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                self.0.fill_bytes(dest);
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(ChaChaCore::from_seed(seed))
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds.
+    ChaCha8Rng,
+    4
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    6
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    10
+);

@@ -1,0 +1,329 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives on: non-generic named-field structs, tuple structs,
+//! unit structs, and enums whose variants are unit, tuple or struct-like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Skips attribute tokens (`#` followed by a bracketed group) starting at
+/// `tokens[i]`; returns the index of the first non-attribute token.
+///
+/// `#[serde(...)]` attributes are rejected outright: the vendored derive
+/// cannot honor rename/skip/etc., and silently ignoring them would compile
+/// clean while emitting wrong JSON.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                    if id.to_string() == "serde" {
+                        panic!(
+                            "serde_derive (vendored subset): #[serde(...)] attributes are not \
+                             supported — extend vendor/serde_derive if one is needed"
+                        );
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Angle-bracket depth bookkeeping for type-token scans. `is_arrow` tracks a
+/// preceding `-` so the `>` of `->` (fn-pointer / closure return types) is
+/// not miscounted as a closing bracket.
+fn update_type_depth(tok: &TokenTree, depth: &mut i32, prev_was_dash: &mut bool) {
+    if let TokenTree::Punct(p) = tok {
+        match p.as_char() {
+            '<' => *depth += 1,
+            '>' if !*prev_was_dash => *depth -= 1,
+            _ => {}
+        }
+        *prev_was_dash = p.as_char() == '-';
+    } else {
+        *prev_was_dash = false;
+    }
+}
+
+/// Skips a visibility modifier (`pub`, optionally followed by `(...)`).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts items separated by top-level commas (angle-bracket aware).
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut prev_was_dash = false;
+    let mut count = 0;
+    let mut saw_any = false;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            if p.as_char() == ',' && depth == 0 {
+                count += 1;
+                saw_any = false;
+                prev_was_dash = false;
+                continue;
+            }
+        }
+        update_type_depth(tok, &mut depth, &mut prev_was_dash);
+        saw_any = true;
+    }
+    if saw_any {
+        count += 1;
+    }
+    count
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field name, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        let mut prev_was_dash = false;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' && depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            update_type_depth(&tokens[i], &mut depth, &mut prev_was_dash);
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected variant name, found {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(count_top_level_items(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and advance past the separator comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    }
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive: expected type name, found {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored subset): generic type `{name}` is not supported");
+        }
+    }
+    let kind = if is_enum {
+        let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            panic!("serde_derive: expected enum body for `{name}`");
+        };
+        ItemKind::Enum(parse_enum_variants(&g.stream()))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::TupleStruct(count_top_level_items(&inner))
+            }
+            _ => ItemKind::UnitStruct,
+        }
+    };
+    Item { name, kind }
+}
+
+fn named_fields_to_object(fields: &[String], access_prefix: &str) -> String {
+    let mut out = String::from("::serde::Value::Object(::std::vec![");
+    for field in fields {
+        out.push_str(&format!(
+            "(\"{field}\".to_string(), ::serde::Serialize::to_json_value({access_prefix}{field})),"
+        ));
+    }
+    out.push_str("])");
+    out
+}
+
+/// Derives the vendored `serde::Serialize` (renders into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => named_fields_to_object(fields, "&self."),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let mut out = String::from("::serde::Value::Array(::std::vec![");
+            for idx in 0..*n {
+                out.push_str(&format!("::serde::Serialize::to_json_value(&self.{idx}),"));
+            }
+            out.push_str("])");
+            out
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut out = String::from("match self {");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let mut arr = String::from("::serde::Value::Array(::std::vec![");
+                            for b in &binds {
+                                arr.push_str(&format!("::serde::Serialize::to_json_value({b}),"));
+                            }
+                            arr.push_str("])");
+                            arr
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), {inner})]),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner = named_fields_to_object(fields, "");
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), {inner})]),",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive: generated impl parses")
+}

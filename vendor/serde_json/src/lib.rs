@@ -1,0 +1,187 @@
+//! Offline, API-compatible subset of
+//! [`serde_json`](https://crates.io/crates/serde_json): JSON *output* for
+//! values implementing the vendored `serde::Serialize`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+
+/// Serialisation error. The vendored subset is infallible in practice, but
+/// the upstream signatures return `Result`, so callers keep their `?`/`expect`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the upstream crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep integral floats recognisable as numbers with a decimal
+                // point, matching upstream serde_json's formatting.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            write_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, level + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            write_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_handles_arrow_in_field_types_and_enums() {
+        #[derive(serde::Serialize)]
+        struct WithFnPtr {
+            transform: std::marker::PhantomData<fn(u32) -> bool>,
+            count: u64,
+        }
+        let v = WithFnPtr {
+            transform: std::marker::PhantomData,
+            count: 7,
+        };
+        // The `->` must not desync the field scan: `count` must survive.
+        assert_eq!(to_string(&v).unwrap(), r#"{"transform":null,"count":7}"#);
+
+        #[derive(serde::Serialize)]
+        enum Mixed {
+            Unit,
+            Pair(u8, u8),
+            Named { x: u8 },
+        }
+        assert_eq!(to_string(&Mixed::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&Mixed::Pair(1, 2)).unwrap(), r#"{"Pair":[1,2]}"#);
+        assert_eq!(
+            to_string(&Mixed::Named { x: 3 }).unwrap(),
+            r#"{"Named":{"x":3}}"#
+        );
+    }
+
+    #[test]
+    fn compact_and_pretty_round_small_values() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::UInt(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Float(0.5), Value::Str("x\"y".into())]),
+            ),
+        ]);
+        struct Wrap(Value);
+        impl serde::Serialize for Wrap {
+            fn to_json_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(
+            to_string(&Wrap(v.clone())).unwrap(),
+            r#"{"a":1,"b":[0.5,"x\"y"]}"#
+        );
+        let pretty = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+}
