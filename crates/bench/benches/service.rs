@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the service layer's fitted-parameter cache.
+//!
+//! The DP learning step is the only ε-spending part of a synthesis request;
+//! re-sampling from already-released parameters is ε-free post-processing.
+//! These benches quantify what the cache buys:
+//!
+//! * `params_cold_fit` vs `params_cache_hit` — acquiring `Θ̃` with a fresh
+//!   key each iteration (full DP fit) vs the cached lookup the hot path uses.
+//! * `synthesize_cold_fit` vs `synthesize_cache_hit` — the full request
+//!   (admission + fit + sampling) cold vs cached. Sampling is shared by both
+//!   paths, so the end-to-end ratio is smaller than the params-only ratio;
+//!   `--method smooth` variants shift more of the request into the fit and
+//!   show the cache's effect on an expensive estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use agmdp_core::correlations_dp::CorrelationMethod;
+use agmdp_datasets::{generate_dataset, DatasetSpec};
+use agmdp_service::engine::{SynthesisEngine, SynthesisRequest};
+use agmdp_service::ledger::BudgetLedger;
+
+fn engine_with_dataset() -> SynthesisEngine {
+    let input = generate_dataset(&DatasetSpec::lastfm().scaled(0.3), 5).expect("dataset");
+    let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+    // A budget large enough that the bench loop never exhausts it: the point
+    // here is fit cost, not admission refusals.
+    engine
+        .register_dataset("lastfm", input, 1e9)
+        .expect("register");
+    engine
+}
+
+fn request(seed: u64, method: CorrelationMethod) -> SynthesisRequest {
+    let mut request = SynthesisRequest::new("lastfm", 1.0, seed);
+    request.method = method;
+    request
+}
+
+fn service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    // -- Parameter acquisition only: admit + fit, no sampling. ---------------
+    group.bench_function("params_cold_fit", |b| {
+        let engine = engine_with_dataset();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1; // fresh key every iteration: always a cache miss
+            let req = request(seed, CorrelationMethod::default());
+            let admission = engine.admit(&req).unwrap();
+            assert!(!admission.cache_hit());
+            black_box(engine.parameters(&req, &admission).unwrap().num_nodes);
+        });
+    });
+
+    group.bench_function("params_cache_hit", |b| {
+        let engine = engine_with_dataset();
+        let req = request(7, CorrelationMethod::default());
+        engine.synthesize(&req).unwrap(); // warm the cache
+        b.iter(|| {
+            let admission = engine.admit(&req).unwrap();
+            assert!(admission.cache_hit());
+            black_box(engine.parameters(&req, &admission).unwrap().num_nodes);
+        });
+    });
+
+    // -- Full request: admission + fit + sampling. ---------------------------
+    group.bench_function("synthesize_cold_fit", |b| {
+        let engine = engine_with_dataset();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let outcome = engine
+                .synthesize(&request(seed, CorrelationMethod::default()))
+                .unwrap();
+            assert!(!outcome.cache_hit);
+            black_box(outcome.stats.edges);
+        });
+    });
+
+    group.bench_function("synthesize_cache_hit", |b| {
+        let engine = engine_with_dataset();
+        let req = request(7, CorrelationMethod::default());
+        engine.synthesize(&req).unwrap(); // warm the cache
+        b.iter(|| {
+            let outcome = engine.synthesize(&req).unwrap();
+            assert!(outcome.cache_hit);
+            black_box(outcome.stats.edges);
+        });
+    });
+
+    // -- Full request with the expensive smooth-sensitivity estimator. -------
+    let smooth = CorrelationMethod::SmoothSensitivity { delta: 1e-6 };
+    group.bench_function("synthesize_smooth_cold_fit", |b| {
+        let engine = engine_with_dataset();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let outcome = engine.synthesize(&request(seed, smooth)).unwrap();
+            assert!(!outcome.cache_hit);
+            black_box(outcome.stats.edges);
+        });
+    });
+
+    group.bench_function("synthesize_smooth_cache_hit", |b| {
+        let engine = engine_with_dataset();
+        let req = request(7, smooth);
+        engine.synthesize(&req).unwrap();
+        b.iter(|| {
+            let outcome = engine.synthesize(&req).unwrap();
+            assert!(outcome.cache_hit);
+            black_box(outcome.stats.edges);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, service);
+criterion_main!(benches);

@@ -60,6 +60,29 @@ impl Default for CorrelationMethod {
     }
 }
 
+impl CorrelationMethod {
+    /// Builds a method from the user-facing token and shared parameters, as
+    /// accepted by both the CLI (`--method`/`--k`) and the service API
+    /// (`"method"`/`"k"`/`"delta"`): `k` parameterises truncation (or, reused,
+    /// the sample-aggregate group size), `delta` the smooth-sensitivity
+    /// (ε, δ) guarantee.
+    pub fn from_parts(
+        name: &str,
+        k: Option<usize>,
+        delta: f64,
+    ) -> std::result::Result<Self, String> {
+        match name {
+            "truncation" => Ok(CorrelationMethod::EdgeTruncation { k }),
+            "smooth" => Ok(CorrelationMethod::SmoothSensitivity { delta }),
+            "sample-aggregate" => Ok(CorrelationMethod::SampleAggregate {
+                group_size: k.unwrap_or(32).max(2),
+            }),
+            "naive" => Ok(CorrelationMethod::NaiveLaplace),
+            other => Err(format!("unknown correlation method '{other}'")),
+        }
+    }
+}
+
 /// Learns a differentially private estimate of `Θ_F` with the chosen method.
 ///
 /// Edge truncation, sample-and-aggregate and the naïve baseline satisfy pure

@@ -37,12 +37,26 @@ use crate::structural_dp::{fit_fcl_dp, fit_tricycle_dp};
 use crate::Result;
 
 /// Which structural model AGM is instantiated with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StructuralModelKind {
     /// The simple (fast) Chung-Lu model — "AGM(DP)-FCL" in the tables.
     Fcl,
     /// The paper's TriCycLe model — "AGM(DP)-TriCL" in the tables.
     TriCycLe,
+}
+
+impl StructuralModelKind {
+    /// Parses the user-facing model token shared by the CLI (`--model`) and
+    /// the service API (`"model"`).
+    pub fn parse(name: &str) -> std::result::Result<Self, String> {
+        match name {
+            "fcl" => Ok(StructuralModelKind::Fcl),
+            "tricycle" => Ok(StructuralModelKind::TriCycLe),
+            other => Err(format!(
+                "unknown model '{other}' (expected fcl or tricycle)"
+            )),
+        }
+    }
 }
 
 /// Privacy setting of a synthesis run.

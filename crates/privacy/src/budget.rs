@@ -21,6 +21,12 @@ use crate::Result;
 pub struct PrivacyBudget {
     total: f64,
     spent: f64,
+    /// Neumaier–Kahan compensation for `spent`: accumulating many small ε's
+    /// with a plain `+=` drifts by one ulp per spend, which after thousands of
+    /// spends can either overshoot `total` or silently under-count ε. The
+    /// carry keeps `spent + carry` equal to the exact sum of all spends to
+    /// within one final rounding.
+    carry: f64,
 }
 
 impl PrivacyBudget {
@@ -32,6 +38,7 @@ impl PrivacyBudget {
         Ok(Self {
             total: total_epsilon,
             spent: 0.0,
+            carry: 0.0,
         })
     }
 
@@ -41,34 +48,46 @@ impl PrivacyBudget {
         self.total
     }
 
-    /// ε spent so far.
+    /// ε spent so far (compensated running sum).
     #[must_use]
     pub fn spent(&self) -> f64 {
-        self.spent
+        self.spent + self.carry
     }
 
     /// ε still available.
     #[must_use]
     pub fn remaining(&self) -> f64 {
-        (self.total - self.spent).max(0.0)
+        (self.total - self.spent()).max(0.0)
     }
 
     /// Records an ε expenditure, failing if it would exceed the total.
     ///
-    /// A tiny tolerance absorbs floating-point drift from splitting ε into
+    /// Spends accumulate through a Neumaier–Kahan compensated sum so that
+    /// thousands of tiny ε's cannot drift past `total` (or under-count it);
+    /// a tiny tolerance additionally absorbs the rounding of splitting ε into
     /// fractions that do not sum exactly to the total.
     pub fn spend(&mut self, epsilon: f64) -> Result<()> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(PrivacyError::InvalidEpsilon(epsilon));
         }
+        // Neumaier update: `sum` absorbs the addend, `step_carry` recovers the
+        // low-order bits lost to rounding whichever operand was smaller.
+        let sum = self.spent + epsilon;
+        let step_carry = if self.spent.abs() >= epsilon.abs() {
+            (self.spent - sum) + epsilon
+        } else {
+            (epsilon - sum) + self.spent
+        };
+        let carry = self.carry + step_carry;
         let tolerance = 1e-9 * self.total;
-        if self.spent + epsilon > self.total + tolerance {
+        if sum + carry > self.total + tolerance {
             return Err(PrivacyError::BudgetExceeded {
                 requested: epsilon,
                 remaining: self.remaining(),
             });
         }
-        self.spent += epsilon;
+        self.spent = sum;
+        self.carry = carry;
         Ok(())
     }
 }
@@ -191,6 +210,35 @@ mod tests {
         // A 3-way split of 0.3 does not sum exactly to 0.3 in floating point,
         // but must still be accepted.
         assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn thousand_small_spends_do_not_drift() {
+        // Regression for floating-point drift: a plain `spent += e` loop
+        // accumulates one ulp of error per spend, so ε/1000 spent 1000 times
+        // could overshoot the total (spurious BudgetExceeded) or under-count.
+        // The compensated sum must accept all 1000 spends and land on the
+        // exact sum 1000 · fl(total/1000) to within one rounding.
+        for total in [1.0, 0.1, 0.3, 2.5e-3, 7.0] {
+            let mut b = PrivacyBudget::new(total).unwrap();
+            let step = total / 1000.0;
+            for i in 0..1000 {
+                b.spend(step)
+                    .unwrap_or_else(|e| panic!("spend {i} of {total}/1000 failed: {e}"));
+            }
+            let exact = step * 1000.0; // compensated sum of 1000 equal terms
+            assert!(
+                (b.spent() - exact).abs() <= f64::EPSILON * exact,
+                "total {total}: spent {} drifted from exact {exact}",
+                b.spent()
+            );
+            assert!(b.remaining() <= 1e-9 * total);
+            // The budget is now exhausted: a real further spend must fail.
+            assert!(matches!(
+                b.spend(total / 100.0),
+                Err(PrivacyError::BudgetExceeded { .. })
+            ));
+        }
     }
 
     #[test]

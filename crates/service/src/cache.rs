@@ -1,0 +1,341 @@
+//! The fitted-parameter cache.
+//!
+//! Learning `Θ̃_X`, `Θ̃_F`, `Θ̃_M` is the ε-spending step of the pipeline; the
+//! sampled parameters are *released* values. By post-processing invariance
+//! (Theorem 2's second half), re-sampling graphs from an already-released
+//! parameter set costs **no additional ε** — so the service caches fitted
+//! parameters keyed by everything that influences the fit: dataset, ε, its
+//! split (implied by the model kind), the structural model, the correlation
+//! estimator (with its own parameters), and the learning seed. Repeat
+//! requests hit the cache, skip the DP learning step entirely and draw
+//! nothing from the ledger.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use agmdp_core::correlations_dp::CorrelationMethod;
+use agmdp_core::workflow::{LearnedParameters, Privacy, StructuralModelKind};
+
+/// Cache key: every input that influences the fitted `Θ̃` triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FitKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Exact ε of the request (IEEE-754 bits; `None` for non-private fits).
+    pub epsilon_bits: Option<u64>,
+    /// Structural model (determines the budget split — Section 5).
+    pub model: StructuralModelKind,
+    /// Canonical token for the correlation estimator and its parameters.
+    pub method: String,
+    /// Seed of the learning RNG.
+    pub seed: u64,
+}
+
+impl FitKey {
+    /// Builds a key from request parameters.
+    #[must_use]
+    pub fn new(
+        dataset: &str,
+        privacy: Privacy,
+        model: StructuralModelKind,
+        method: CorrelationMethod,
+        seed: u64,
+    ) -> Self {
+        let epsilon_bits = match privacy {
+            Privacy::NonPrivate => None,
+            Privacy::Dp { epsilon } => Some(epsilon.to_bits()),
+        };
+        Self {
+            dataset: dataset.to_string(),
+            epsilon_bits,
+            model,
+            method: method_token(method),
+            seed,
+        }
+    }
+}
+
+/// Canonical, collision-free text form of a correlation method. Float
+/// parameters are rendered as their bit pattern so distinct values can never
+/// alias.
+#[must_use]
+pub fn method_token(method: CorrelationMethod) -> String {
+    match method {
+        CorrelationMethod::EdgeTruncation { k: None } => "truncation:k=auto".to_string(),
+        CorrelationMethod::EdgeTruncation { k: Some(k) } => format!("truncation:k={k}"),
+        CorrelationMethod::SmoothSensitivity { delta } => {
+            format!("smooth:delta_bits={:016x}", delta.to_bits())
+        }
+        CorrelationMethod::SampleAggregate { group_size } => {
+            format!("sample-aggregate:g={group_size}")
+        }
+        CorrelationMethod::NaiveLaplace => "naive".to_string(),
+    }
+}
+
+/// How many fitted parameter sets a cache holds by default before evicting
+/// the oldest insertion.
+const DEFAULT_CAPACITY: usize = 256;
+
+struct CacheInner {
+    entries: HashMap<FitKey, Arc<LearnedParameters>>,
+    /// Insertion order for eviction (oldest at the front).
+    order: VecDeque<FitKey>,
+}
+
+/// Thread-safe fitted-parameter cache with hit/miss counters.
+///
+/// Bounded: once `capacity` parameter sets are cached, the oldest insertion
+/// is evicted. Evicting is always privacy-safe — a later identical request
+/// simply pays ε again through the ledger, exactly like its first release —
+/// but without a bound a long-running multi-tenant server would accumulate
+/// one fitted parameter set per distinct (dataset, ε, model, method, seed)
+/// forever.
+#[derive(Debug)]
+pub struct FitCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("len", &self.entries.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for FitCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FitCache {
+    /// An empty cache with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache evicting beyond `capacity` parameter sets.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up fitted parameters without touching the hit/miss counters
+    /// (used by polling paths that would otherwise inflate them).
+    #[must_use]
+    pub fn peek(&self, key: &FitKey) -> Option<Arc<LearnedParameters>> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .get(key)
+            .cloned()
+    }
+
+    /// Looks up fitted parameters, counting a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &FitKey) -> Option<Arc<LearnedParameters>> {
+        let found = self
+            .inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts fitted parameters (last writer wins — both writers paid ε, so
+    /// keeping either is privacy-safe), evicting the oldest insertion beyond
+    /// capacity.
+    pub fn insert(&self, key: FitKey, params: Arc<LearnedParameters>) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.entries.insert(key.clone(), params).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.entries.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+        }
+    }
+
+    /// `(hits, misses)` since startup.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached parameter sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_core::workflow::{learn_parameters, AgmConfig};
+    use agmdp_datasets::toy_social_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fit() -> Arc<LearnedParameters> {
+        let graph = toy_social_graph();
+        let config = AgmConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        Arc::new(learn_parameters(&graph, &config, &mut rng).unwrap())
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = FitCache::new();
+        let key = FitKey::new(
+            "toy",
+            Privacy::Dp { epsilon: 1.0 },
+            StructuralModelKind::TriCycLe,
+            CorrelationMethod::default(),
+            7,
+        );
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), fit());
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_distinguish_every_fit_input() {
+        let base = FitKey::new(
+            "toy",
+            Privacy::Dp { epsilon: 1.0 },
+            StructuralModelKind::TriCycLe,
+            CorrelationMethod::EdgeTruncation { k: None },
+            7,
+        );
+        let variants = [
+            FitKey::new(
+                "other",
+                Privacy::Dp { epsilon: 1.0 },
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::EdgeTruncation { k: None },
+                7,
+            ),
+            FitKey::new(
+                "toy",
+                Privacy::Dp { epsilon: 0.5 },
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::EdgeTruncation { k: None },
+                7,
+            ),
+            FitKey::new(
+                "toy",
+                Privacy::NonPrivate,
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::EdgeTruncation { k: None },
+                7,
+            ),
+            FitKey::new(
+                "toy",
+                Privacy::Dp { epsilon: 1.0 },
+                StructuralModelKind::Fcl,
+                CorrelationMethod::EdgeTruncation { k: None },
+                7,
+            ),
+            FitKey::new(
+                "toy",
+                Privacy::Dp { epsilon: 1.0 },
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::EdgeTruncation { k: Some(5) },
+                7,
+            ),
+            FitKey::new(
+                "toy",
+                Privacy::Dp { epsilon: 1.0 },
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::EdgeTruncation { k: None },
+                8,
+            ),
+        ];
+        for variant in &variants {
+            assert_ne!(&base, variant);
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_insertion() {
+        let cache = FitCache::with_capacity(2);
+        let key = |seed| {
+            FitKey::new(
+                "toy",
+                Privacy::Dp { epsilon: 1.0 },
+                StructuralModelKind::TriCycLe,
+                CorrelationMethod::default(),
+                seed,
+            )
+        };
+        let params = fit();
+        cache.insert(key(1), Arc::clone(&params));
+        cache.insert(key(2), Arc::clone(&params));
+        cache.insert(key(3), Arc::clone(&params));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_none(), "oldest insertion evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        // Re-inserting an existing key does not grow the order queue.
+        cache.insert(key(3), params);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn method_tokens_are_collision_free() {
+        let tokens = [
+            method_token(CorrelationMethod::EdgeTruncation { k: None }),
+            method_token(CorrelationMethod::EdgeTruncation { k: Some(32) }),
+            method_token(CorrelationMethod::SmoothSensitivity { delta: 1e-6 }),
+            method_token(CorrelationMethod::SmoothSensitivity { delta: 1e-7 }),
+            method_token(CorrelationMethod::SampleAggregate { group_size: 32 }),
+            method_token(CorrelationMethod::NaiveLaplace),
+        ];
+        for (i, a) in tokens.iter().enumerate() {
+            for b in &tokens[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The synthesis engine: registry + ledger + fitted-parameter cache.
+//!
+//! A request's life is split in two so the server can refuse over-budget work
+//! *before* running anything:
+//!
+//! 1. [`SynthesisEngine::admit`] — synchronous. Looks up the dataset, checks
+//!    the fitted-parameter cache and, on a miss, draws ε from the ledger
+//!    (journaled before granted). A request that exceeds the remaining budget
+//!    fails here with [`ServiceError::BudgetExhausted`] and never reaches a
+//!    worker.
+//! 2. [`SynthesisEngine::run`] — the expensive part, safe to run on a
+//!    background thread: fit `Θ̃` (cache miss only), cache it, then sample a
+//!    synthetic graph from the parameters (pure post-processing, ε-free).
+//!
+//! The sampling RNG is seeded independently of the learning RNG so a cache
+//! hit reproduces byte-identical output to the cold path for the same seed.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use agmdp_core::correlations_dp::CorrelationMethod;
+use agmdp_core::workflow::{
+    learn_parameters, synthesize_from_parameters, AgmConfig, LearnedParameters, Privacy,
+    StructuralModelKind,
+};
+use agmdp_graph::triangles::count_triangles;
+use agmdp_graph::{io, AttributedGraph};
+
+use crate::cache::{FitCache, FitKey};
+use crate::error::ServiceError;
+use crate::ledger::BudgetLedger;
+use crate::registry::{DatasetRegistry, DatasetSummary};
+
+/// Distinguishes the sampling RNG stream from the learning stream (both are
+/// derived from the request seed).
+const SAMPLING_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// How long an admission waits for an identical in-flight fit before giving
+/// up and paying for its own (the waited-out fallback can double-charge, but
+/// never hangs).
+const IN_FLIGHT_MAX_WAIT: Duration = Duration::from_secs(60);
+/// Granularity of the in-flight wait (also bounds wake-up latency).
+const IN_FLIGHT_WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Keys whose fit is currently being computed by some admitted request.
+///
+/// Single-flight guard: without it, two concurrent identical cold requests
+/// would both miss the cache and both draw ε from the ledger for one released
+/// parameter set. Admissions for a key already in flight wait (bounded) for
+/// the fitter to publish into the cache and then ride it as a cache hit.
+#[derive(Debug, Default)]
+struct InFlight {
+    keys: Mutex<HashSet<FitKey>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    /// Removes `key` (idempotent) and wakes all waiters.
+    fn complete(&self, key: &FitKey) {
+        self.keys
+            .lock()
+            .expect("in-flight lock poisoned")
+            .remove(key);
+        self.done.notify_all();
+    }
+}
+
+/// RAII claim on an in-flight fit; released explicitly once the fit is
+/// published, or on drop (fit failed / admission abandoned) so waiters can
+/// take over.
+#[derive(Debug)]
+struct FitClaim {
+    in_flight: Arc<InFlight>,
+    key: FitKey,
+}
+
+impl Drop for FitClaim {
+    fn drop(&mut self) {
+        self.in_flight.complete(&self.key);
+    }
+}
+
+/// One synthesis request, fully specifying the fit and the sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisRequest {
+    /// Registered dataset to synthesize from.
+    pub dataset: String,
+    /// ε for this release (drawn from the dataset's ledger on a cache miss).
+    pub epsilon: f64,
+    /// Structural model (determines the budget split).
+    pub model: StructuralModelKind,
+    /// Correlation estimator.
+    pub method: CorrelationMethod,
+    /// Seed for the learning and sampling RNG streams.
+    pub seed: u64,
+    /// Acceptance-probability refinement iterations (Algorithm 3).
+    pub refinement_iterations: usize,
+    /// Whether the response should include the synthetic graph text.
+    pub return_graph: bool,
+}
+
+impl SynthesisRequest {
+    /// A request with the workflow defaults (TriCycLe, edge truncation,
+    /// 3 refinement iterations, stats-only response).
+    #[must_use]
+    pub fn new(dataset: &str, epsilon: f64, seed: u64) -> Self {
+        Self {
+            dataset: dataset.to_string(),
+            epsilon,
+            model: StructuralModelKind::TriCycLe,
+            method: CorrelationMethod::default(),
+            seed,
+            refinement_iterations: 3,
+            return_graph: false,
+        }
+    }
+
+    fn fit_key(&self) -> FitKey {
+        FitKey::new(
+            &self.dataset,
+            Privacy::Dp {
+                epsilon: self.epsilon,
+            },
+            self.model,
+            self.method,
+            self.seed,
+        )
+    }
+
+    fn config(&self) -> AgmConfig {
+        AgmConfig {
+            privacy: Privacy::Dp {
+                epsilon: self.epsilon,
+            },
+            model: self.model,
+            correlation_method: self.method,
+            refinement_iterations: self.refinement_iterations,
+            orphan_postprocessing: true,
+        }
+    }
+}
+
+/// Structural summary of a synthetic graph, returned with every job.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of triangles.
+    pub triangles: u64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    fn of(graph: &AttributedGraph) -> Self {
+        Self {
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            triangles: count_triangles(graph),
+            max_degree: graph.max_degree(),
+            avg_degree: graph.avg_degree(),
+        }
+    }
+}
+
+/// The result of a completed synthesis job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisOutcome {
+    /// Dataset the graph was synthesized from.
+    pub dataset: String,
+    /// ε of the release.
+    pub epsilon: f64,
+    /// ε actually drawn from the ledger (0 on a cache hit — post-processing).
+    pub epsilon_spent: f64,
+    /// Whether the fitted parameters came from the cache.
+    pub cache_hit: bool,
+    /// Structural summary of the synthetic graph.
+    pub stats: GraphStats,
+    /// The synthetic graph in the text interchange format, when requested.
+    pub graph_text: Option<String>,
+}
+
+/// An admitted request: either cached parameters (ε-free) or a granted,
+/// already-journaled ε spend that [`SynthesisEngine::run`] will consume.
+#[derive(Debug)]
+pub struct Admission {
+    params: Option<Arc<LearnedParameters>>,
+    epsilon_spent: f64,
+    /// Present on cold admissions: the single-flight claim on this fit key,
+    /// released when the fit is published (or the admission is dropped).
+    _claim: Option<FitClaim>,
+}
+
+impl Admission {
+    /// Whether this admission was satisfied from the cache.
+    #[must_use]
+    pub fn cache_hit(&self) -> bool {
+        self.params.is_some()
+    }
+
+    /// ε drawn from the ledger for this admission.
+    #[must_use]
+    pub fn epsilon_spent(&self) -> f64 {
+        self.epsilon_spent
+    }
+}
+
+/// The multi-tenant synthesis engine.
+#[derive(Debug)]
+pub struct SynthesisEngine {
+    registry: DatasetRegistry,
+    ledger: BudgetLedger,
+    cache: FitCache,
+    in_flight: Arc<InFlight>,
+}
+
+impl SynthesisEngine {
+    /// An engine over the given ledger with an empty registry and cache.
+    #[must_use]
+    pub fn new(ledger: BudgetLedger) -> Self {
+        Self {
+            registry: DatasetRegistry::new(),
+            ledger,
+            cache: FitCache::new(),
+            in_flight: Arc::new(InFlight::default()),
+        }
+    }
+
+    /// The dataset registry.
+    #[must_use]
+    pub fn registry(&self) -> &DatasetRegistry {
+        &self.registry
+    }
+
+    /// The budget ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The fitted-parameter cache.
+    #[must_use]
+    pub fn cache(&self) -> &FitCache {
+        &self.cache
+    }
+
+    /// Registers a dataset with its total ε budget (registry + ledger in one
+    /// step; both sides are idempotent for the restart path).
+    pub fn register_dataset(
+        &self,
+        name: &str,
+        graph: AttributedGraph,
+        total_epsilon: f64,
+    ) -> Result<DatasetSummary, ServiceError> {
+        if graph.num_nodes() == 0 || graph.num_edges() == 0 {
+            return Err(ServiceError::InvalidRequest(
+                "datasets must have at least one node and one edge".to_string(),
+            ));
+        }
+        // Validate the budget *before* touching the registry so a rejected
+        // registration leaves no half-registered dataset behind: an invalid
+        // ε and a total conflicting with a (possibly journal-replayed) ledger
+        // entry both fail here, ahead of the registry insert.
+        agmdp_privacy::PrivacyBudget::new(total_epsilon).map_err(|e| {
+            ServiceError::InvalidRequest(format!("invalid budget for '{name}': {e}"))
+        })?;
+        if let Some(existing) = self.ledger.status(name) {
+            if existing.total != total_epsilon {
+                return Err(ServiceError::DatasetConflict(format!(
+                    "'{name}' already has a total budget of {} (requested {total_epsilon})",
+                    existing.total
+                )));
+            }
+        }
+        let was_registered = self.registry.get(name).is_ok();
+        let arc = self.registry.register(name, graph)?;
+        if let Err(e) = self.ledger.register(name, total_epsilon) {
+            // Roll back a *newly* inserted graph (e.g. the journal append
+            // failed) so the registry and ledger never disagree about which
+            // datasets exist; a pre-existing registration stays.
+            if !was_registered {
+                self.registry.remove(name);
+            }
+            return Err(e);
+        }
+        Ok(DatasetSummary {
+            name: name.to_string(),
+            nodes: arc.num_nodes(),
+            edges: arc.num_edges(),
+            attribute_width: arc.schema().width(),
+        })
+    }
+
+    /// Synchronous admission: cache lookup, or a journaled ledger spend.
+    pub fn admit(&self, request: &SynthesisRequest) -> Result<Admission, ServiceError> {
+        if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
+            return Err(ServiceError::InvalidRequest(format!(
+                "epsilon must be positive and finite, got {}",
+                request.epsilon
+            )));
+        }
+        if request.refinement_iterations == 0 || request.refinement_iterations > 64 {
+            return Err(ServiceError::InvalidRequest(
+                "iterations must be in 1..=64".to_string(),
+            ));
+        }
+        // The dataset must exist even on the cache-hit path.
+        self.registry.get(&request.dataset)?;
+        let key = request.fit_key();
+        if let Some(params) = self.cache.get(&key) {
+            return Ok(Admission {
+                params: Some(params),
+                epsilon_spent: 0.0,
+                _claim: None,
+            });
+        }
+        // Single-flight: claim the key, or wait for the identical in-flight
+        // fit to publish and ride it as a cache hit (spending nothing).
+        let claim = self.claim_or_wait(&key);
+        // Re-check the cache in every outcome: a fitter may have published
+        // after our initial miss — while we waited, or even before we
+        // claimed (fit published and claim released between our miss and the
+        // claim). Without this, that race double-charges ε or 402s a request
+        // the cache could serve for free. A fresh claim is simply dropped
+        // (released) when the hit path wins.
+        if let Some(params) = self.cache.get(&key) {
+            return Ok(Admission {
+                params: Some(params),
+                epsilon_spent: 0.0,
+                _claim: None,
+            });
+        }
+        self.ledger.spend(&request.dataset, request.epsilon)?;
+        Ok(Admission {
+            params: None,
+            epsilon_spent: request.epsilon,
+            _claim: claim,
+        })
+    }
+
+    /// Claims `key` for fitting, or waits (bounded) while another admission
+    /// holds it. Returns `None` when the wait ended — either because the
+    /// fitter finished (check the cache) or the wait timed out (fall through
+    /// to an independent, possibly duplicate, spend: never hang admission).
+    fn claim_or_wait(&self, key: &FitKey) -> Option<FitClaim> {
+        let mut keys = self.in_flight.keys.lock().expect("in-flight lock poisoned");
+        let mut waited = Duration::ZERO;
+        loop {
+            if !keys.contains(key) {
+                keys.insert(key.clone());
+                return Some(FitClaim {
+                    in_flight: Arc::clone(&self.in_flight),
+                    key: key.clone(),
+                });
+            }
+            if waited >= IN_FLIGHT_MAX_WAIT {
+                return None;
+            }
+            let (guard, _) = self
+                .in_flight
+                .done
+                .wait_timeout(keys, IN_FLIGHT_WAIT_SLICE)
+                .expect("in-flight lock poisoned");
+            keys = guard;
+            waited += IN_FLIGHT_WAIT_SLICE;
+            // The fitter may have published and released; if the cache now
+            // holds the key the caller will take the hit path.
+            if self.cache.peek(key).is_some() {
+                return None;
+            }
+        }
+    }
+
+    /// The parameter-acquisition half of [`SynthesisEngine::run`]: returns
+    /// the admission's cached parameters, or fits `Θ̃` with the DP learners
+    /// and caches it. This is the step the fitted-parameter cache skips.
+    ///
+    /// A failed fit does *not* refund the ledger: the mechanism may have
+    /// consumed randomness against the sensitive data, so the conservative
+    /// accounting keeps the ε spent.
+    pub fn parameters(
+        &self,
+        request: &SynthesisRequest,
+        admission: &Admission,
+    ) -> Result<Arc<LearnedParameters>, ServiceError> {
+        if let Some(params) = &admission.params {
+            return Ok(Arc::clone(params));
+        }
+        let graph = self.registry.get(&request.dataset)?;
+        let mut learn_rng = StdRng::seed_from_u64(request.seed);
+        let params = Arc::new(
+            learn_parameters(&graph, &request.config(), &mut learn_rng)
+                .map_err(|e| ServiceError::Synthesis(e.to_string()))?,
+        );
+        let key = request.fit_key();
+        self.cache.insert(key.clone(), Arc::clone(&params));
+        // Wake identical admissions as soon as the fit is published instead
+        // of making them wait out the sampling step too (the claim's own
+        // drop-release is idempotent with this).
+        self.in_flight.complete(&key);
+        Ok(params)
+    }
+
+    /// Runs an admitted request: fit (cache miss only) + sample.
+    pub fn run(
+        &self,
+        request: &SynthesisRequest,
+        admission: Admission,
+    ) -> Result<SynthesisOutcome, ServiceError> {
+        let config = request.config();
+        let cache_hit = admission.cache_hit();
+        let params = self.parameters(request, &admission)?;
+        let mut sample_rng = StdRng::seed_from_u64(request.seed ^ SAMPLING_SEED_SALT);
+        let synthetic = synthesize_from_parameters(&params, &config, &mut sample_rng)
+            .map_err(|e| ServiceError::Synthesis(e.to_string()))?;
+        Ok(SynthesisOutcome {
+            dataset: request.dataset.clone(),
+            epsilon: request.epsilon,
+            epsilon_spent: admission.epsilon_spent,
+            cache_hit,
+            stats: GraphStats::of(&synthetic),
+            graph_text: request.return_graph.then(|| io::to_text(&synthetic)),
+        })
+    }
+
+    /// Admission + run in one call (the synchronous path used by benches and
+    /// tests; the server splits the two across threads).
+    pub fn synthesize(&self, request: &SynthesisRequest) -> Result<SynthesisOutcome, ServiceError> {
+        let admission = self.admit(request)?;
+        self.run(request, admission)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_datasets::toy_social_graph;
+
+    fn engine_with_toy(total: f64) -> SynthesisEngine {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine
+            .register_dataset("toy", toy_social_graph(), total)
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn cold_then_cached_spends_epsilon_exactly_once() {
+        let engine = engine_with_toy(1.0);
+        let request = SynthesisRequest::new("toy", 0.5, 42);
+
+        let cold = engine.synthesize(&request).unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.epsilon_spent, 0.5);
+        assert!((engine.ledger().status("toy").unwrap().spent - 0.5).abs() < 1e-12);
+
+        let hot = engine.synthesize(&request).unwrap();
+        assert!(hot.cache_hit);
+        assert_eq!(hot.epsilon_spent, 0.0);
+        // Post-processing invariance: the cached request drew nothing.
+        assert!((engine.ledger().status("toy").unwrap().spent - 0.5).abs() < 1e-12);
+
+        // Same request ⇒ byte-identical synthetic graph, cold or cached.
+        assert_eq!(cold.stats, hot.stats);
+    }
+
+    #[test]
+    fn cache_hit_reproduces_cold_output_exactly() {
+        let engine = engine_with_toy(10.0);
+        let mut request = SynthesisRequest::new("toy", 1.0, 7);
+        request.return_graph = true;
+        let cold = engine.synthesize(&request).unwrap();
+        let hot = engine.synthesize(&request).unwrap();
+        assert!(hot.cache_hit);
+        assert_eq!(cold.graph_text, hot.graph_text);
+    }
+
+    #[test]
+    fn over_budget_admission_is_refused_before_running() {
+        let engine = engine_with_toy(1.0);
+        engine
+            .synthesize(&SynthesisRequest::new("toy", 0.8, 1))
+            .unwrap();
+        let err = engine
+            .admit(&SynthesisRequest::new("toy", 0.8, 2))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+        assert_eq!(err.http_status(), 402);
+        // A cached request still succeeds with zero remaining-budget impact.
+        let hot = engine
+            .synthesize(&SynthesisRequest::new("toy", 0.8, 1))
+            .unwrap();
+        assert!(hot.cache_hit);
+    }
+
+    #[test]
+    fn concurrent_identical_cold_requests_charge_epsilon_once() {
+        let engine = Arc::new(engine_with_toy(1.0));
+        let request = SynthesisRequest::new("toy", 0.5, 99);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let request = request.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    engine.synthesize(&request).unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Single-flight admission: exactly one release was paid for, the
+        // other three rode the published fit as cache hits.
+        let spent = engine.ledger().status("toy").unwrap().spent;
+        assert!(
+            (spent - 0.5).abs() < 1e-12,
+            "identical concurrent requests must charge ε once, spent {spent}"
+        );
+        assert_eq!(outcomes.iter().filter(|o| !o.cache_hit).count(), 1);
+        assert_eq!(
+            outcomes.iter().map(|o| o.epsilon_spent).sum::<f64>(),
+            0.5,
+            "only the fitter drew from the ledger"
+        );
+        // Same request ⇒ same synthetic graph, regardless of who fitted.
+        for outcome in &outcomes[1..] {
+            assert_eq!(outcome.stats, outcomes[0].stats);
+        }
+    }
+
+    #[test]
+    fn different_seeds_fit_separately() {
+        let engine = engine_with_toy(1.0);
+        engine
+            .synthesize(&SynthesisRequest::new("toy", 0.4, 1))
+            .unwrap();
+        let second = engine
+            .synthesize(&SynthesisRequest::new("toy", 0.4, 2))
+            .unwrap();
+        assert!(!second.cache_hit);
+        assert!((engine.ledger().status("toy").unwrap().spent - 0.8).abs() < 1e-12);
+        assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn rejected_registration_leaves_no_half_registered_dataset() {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        // Invalid budget: the registry must not retain the graph.
+        assert!(engine
+            .register_dataset("d", toy_social_graph(), -1.0)
+            .is_err());
+        assert!(engine.registry().get("d").is_err());
+        // Ledger-only state (the restart path): a conflicting total is
+        // refused before the registry insert.
+        engine.ledger().register("e", 2.0).unwrap();
+        assert!(engine
+            .register_dataset("e", toy_social_graph(), 3.0)
+            .is_err());
+        assert!(engine.registry().get("e").is_err());
+        // The matching total re-attaches the dataset to the replayed budget.
+        engine
+            .register_dataset("e", toy_social_graph(), 2.0)
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let engine = engine_with_toy(1.0);
+        assert!(engine
+            .admit(&SynthesisRequest::new("toy", -1.0, 1))
+            .is_err());
+        assert!(engine
+            .admit(&SynthesisRequest::new("toy", f64::NAN, 1))
+            .is_err());
+        assert!(engine
+            .admit(&SynthesisRequest::new("missing", 0.1, 1))
+            .is_err());
+        let mut bad_iterations = SynthesisRequest::new("toy", 0.1, 1);
+        bad_iterations.refinement_iterations = 0;
+        assert!(engine.admit(&bad_iterations).is_err());
+        assert!(engine
+            .register_dataset("empty", AttributedGraph::unattributed(0), 1.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Service-level error type, mapped onto HTTP status codes.
+
+use std::fmt;
+
+/// Errors surfaced by the service layer (registry, ledger, engine, server).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A synthesis request asked for more ε than the dataset has left.
+    /// Rejected *before* any learning runs — the `402`-style refusal.
+    BudgetExhausted {
+        /// Dataset whose ledger refused the spend.
+        dataset: String,
+        /// ε requested by the synthesis.
+        requested: f64,
+        /// ε still available for the dataset.
+        remaining: f64,
+    },
+    /// The request referenced a dataset that is not registered.
+    UnknownDataset(String),
+    /// A dataset with this name is already registered (with different data).
+    DatasetConflict(String),
+    /// The request body or parameters were invalid.
+    InvalidRequest(String),
+    /// The persistent ledger journal could not be read or written.
+    Ledger(String),
+    /// The underlying AGM-DP pipeline failed.
+    Synthesis(String),
+}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::BudgetExhausted { .. } => 402,
+            ServiceError::UnknownDataset(_) => 404,
+            ServiceError::DatasetConflict(_) => 409,
+            ServiceError::InvalidRequest(_) => 400,
+            ServiceError::Ledger(_) | ServiceError::Synthesis(_) => 500,
+        }
+    }
+
+    /// A short machine-readable error kind for JSON bodies.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BudgetExhausted { .. } => "budget_exhausted",
+            ServiceError::UnknownDataset(_) => "unknown_dataset",
+            ServiceError::DatasetConflict(_) => "dataset_conflict",
+            ServiceError::InvalidRequest(_) => "invalid_request",
+            ServiceError::Ledger(_) => "ledger_error",
+            ServiceError::Synthesis(_) => "synthesis_error",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BudgetExhausted {
+                dataset,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted for '{dataset}': requested epsilon {requested}, \
+                 only {remaining} remaining"
+            ),
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            ServiceError::DatasetConflict(msg) => write!(f, "dataset conflict: {msg}"),
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::Ledger(msg) => write!(f, "ledger error: {msg}"),
+            ServiceError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Validates a dataset name for use as a registry key and journal token:
+/// non-empty, at most 128 bytes, `[A-Za-z0-9._-]` only (so names embed
+/// verbatim in the line-oriented journal and in URL paths).
+pub fn validate_dataset_name(name: &str) -> Result<(), ServiceError> {
+    if name.is_empty() || name.len() > 128 {
+        return Err(ServiceError::InvalidRequest(
+            "dataset name must be 1..=128 characters".to_string(),
+        ));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return Err(ServiceError::InvalidRequest(format!(
+            "dataset name '{name}' may only contain [A-Za-z0-9._-]"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_match_error_classes() {
+        let e = ServiceError::BudgetExhausted {
+            dataset: "d".into(),
+            requested: 1.0,
+            remaining: 0.25,
+        };
+        assert_eq!(e.http_status(), 402);
+        assert_eq!(e.kind(), "budget_exhausted");
+        assert!(e.to_string().contains("0.25"));
+        assert_eq!(ServiceError::UnknownDataset("x".into()).http_status(), 404);
+        assert_eq!(ServiceError::DatasetConflict("x".into()).http_status(), 409);
+        assert_eq!(ServiceError::InvalidRequest("x".into()).http_status(), 400);
+        assert_eq!(ServiceError::Ledger("x".into()).http_status(), 500);
+    }
+
+    #[test]
+    fn dataset_name_validation() {
+        assert!(validate_dataset_name("lastfm-0.3_v2").is_ok());
+        assert!(validate_dataset_name("").is_err());
+        assert!(validate_dataset_name("has space").is_err());
+        assert!(validate_dataset_name("new\nline").is_err());
+        assert!(validate_dataset_name("slash/y").is_err());
+        assert!(validate_dataset_name(&"a".repeat(129)).is_err());
+    }
+}

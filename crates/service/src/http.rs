@@ -1,0 +1,258 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! The container has no crates.io access, so the service hand-rolls the small
+//! slice of HTTP it needs — exactly as the `vendor/` crates are offline
+//! subsets of their upstreams. One request per connection (`Connection:
+//! close`), `Content-Length` bodies only (no chunked encoding), ASCII
+//! request targets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (graph uploads are line-oriented text).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), upper-cased as received.
+    pub method: String,
+    /// Request target path, e.g. `/budget/lastfm` (query strings are kept
+    /// verbatim; the service's routes do not use them).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// An outgoing HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Response body (the service always sends JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+}
+
+/// Error produced while reading a request; maps onto a status code.
+#[derive(Debug)]
+pub struct HttpError {
+    /// The status code the peer should receive (400, 413, 505, …).
+    pub status: u16,
+    /// Human-readable description, echoed in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The canonical reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        402 => "Payment Required",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_head_line(&mut reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(505, format!("unsupported {version}")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::new(400, "request target must be absolute path"));
+    }
+
+    let mut content_length: usize = 0;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_head_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            }
+            if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::new(400, "chunked bodies are not supported"));
+            }
+        } else {
+            return Err(HttpError::new(400, "malformed header line"));
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::new(400, format!("truncated body: {e}")))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated head line, without the terminator.
+fn read_head_line<S: Read>(reader: &mut BufReader<S>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_HEAD_BYTES as u64 + 2);
+    limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+    if line.last() != Some(&b'\n') {
+        return Err(HttpError::new(400, "unterminated header line"));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "non-UTF-8 header"))
+}
+
+/// Writes a response, always closing the connection afterwards.
+pub fn write_response<S: Write>(mut stream: S, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = parse("POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_and_lowercase_headers() {
+        let req = parse("post /x HTTP/1.1\ncontent-length: 2\n\nok").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert_eq!(parse("\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(parse("GET x HTTP/1.1\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Declared body longer than what arrives.
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Oversized declared body.
+        assert_eq!(
+            parse(&format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            ))
+            .unwrap_err()
+            .status,
+            413
+        );
+    }
+
+    #[test]
+    fn response_wire_format_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # agmdp-service — the multi-tenant AGM-DP synthesis server
+//!
+//! Turns the one-shot synthesis pipeline into a long-running JSON-over-HTTP
+//! service that answers many requests fast and provably within budget:
+//!
+//! * **Dataset registry** ([`registry`]) — named graphs, loaded once and
+//!   shared across requests.
+//! * **Privacy-budget ledger** ([`ledger`]) — one total ε per dataset,
+//!   enforced under concurrency via [`agmdp_privacy::PrivacyBudget`]
+//!   (sequential composition, Theorem 2 of the paper) and persisted through a
+//!   write-ahead journal so cumulative spends survive restarts. Requests that
+//!   would exceed the remaining budget are refused with a `402` before any
+//!   mechanism runs.
+//! * **Fitted-parameter cache** ([`cache`]) — learning `Θ̃` is the only
+//!   ε-spending step; re-sampling from already-released parameters is pure
+//!   post-processing and costs no ε. Repeat requests hit the cache, skip the
+//!   DP learning entirely and leave the ledger untouched.
+//! * **HTTP server** ([`server`]) — hand-rolled HTTP/1.1 framing on
+//!   `std::net::TcpListener` with a fixed worker thread pool (the container
+//!   has no crates.io access, so there is no tokio; [`http`] and [`json`] are
+//!   the minimal framing/parsing the endpoints need).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use agmdp_service::engine::{SynthesisEngine, SynthesisRequest};
+//! use agmdp_service::ledger::BudgetLedger;
+//!
+//! let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+//! engine
+//!     .register_dataset("toy", agmdp_datasets::toy_social_graph(), 1.0)
+//!     .unwrap();
+//!
+//! // Cold request: draws ε = 0.5 from the ledger and fits Θ̃.
+//! let outcome = engine.synthesize(&SynthesisRequest::new("toy", 0.5, 7)).unwrap();
+//! assert!(!outcome.cache_hit);
+//!
+//! // Same request again: cache hit, no additional ε (post-processing).
+//! let again = engine.synthesize(&SynthesisRequest::new("toy", 0.5, 7)).unwrap();
+//! assert!(again.cache_hit);
+//! assert_eq!(again.epsilon_spent, 0.0);
+//! assert!((engine.ledger().status("toy").unwrap().spent - 0.5).abs() < 1e-12);
+//! ```
+//!
+//! To serve over HTTP, see [`server::start`] or the `agmdp serve` subcommand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod ledger;
+pub mod registry;
+pub mod server;
+
+pub use engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
+pub use error::ServiceError;
+pub use ledger::{BudgetLedger, BudgetStatus};
+pub use server::{start, ServerHandle, ServiceConfig};

@@ -1,0 +1,135 @@
+//! The in-memory dataset registry.
+//!
+//! Maps dataset names to loaded [`AttributedGraph`]s. Graphs are held behind
+//! `Arc` so synthesis jobs can read them concurrently without cloning; the
+//! registry itself is never persisted (re-register after a restart — the
+//! *budget* is what must survive, and that lives in the ledger).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use agmdp_graph::AttributedGraph;
+
+use crate::error::{validate_dataset_name, ServiceError};
+
+/// Summary of one registered dataset, for `GET /datasets`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct DatasetSummary {
+    /// Registry key.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Attribute width w.
+    pub attribute_width: usize,
+}
+
+/// A thread-safe name → graph map.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    graphs: Mutex<BTreeMap<String, Arc<AttributedGraph>>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a graph under `name`.
+    ///
+    /// Re-registering the same name is idempotent when the graph is
+    /// identical (the restart path); different data is a conflict.
+    pub fn register(
+        &self,
+        name: &str,
+        graph: AttributedGraph,
+    ) -> Result<Arc<AttributedGraph>, ServiceError> {
+        validate_dataset_name(name)?;
+        let mut graphs = self.graphs.lock().expect("registry lock poisoned");
+        if let Some(existing) = graphs.get(name) {
+            if **existing == graph {
+                return Ok(Arc::clone(existing));
+            }
+            return Err(ServiceError::DatasetConflict(format!(
+                "'{name}' is already registered with different data"
+            )));
+        }
+        let arc = Arc::new(graph);
+        graphs.insert(name.to_string(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Removes a dataset (used to roll back a failed registration).
+    pub(crate) fn remove(&self, name: &str) {
+        self.graphs
+            .lock()
+            .expect("registry lock poisoned")
+            .remove(name);
+    }
+
+    /// Looks up a dataset.
+    pub fn get(&self, name: &str) -> Result<Arc<AttributedGraph>, ServiceError> {
+        self.graphs
+            .lock()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+    }
+
+    /// Summaries of all registered datasets, sorted by name.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<DatasetSummary> {
+        self.graphs
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, g)| DatasetSummary {
+                name: name.clone(),
+                nodes: g.num_nodes(),
+                edges: g.num_edges(),
+                attribute_width: g.schema().width(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_datasets::toy_social_graph;
+
+    #[test]
+    fn register_get_and_list() {
+        let reg = DatasetRegistry::new();
+        let g = toy_social_graph();
+        reg.register("toy", g.clone()).unwrap();
+        assert_eq!(*reg.get("toy").unwrap(), g);
+        assert!(matches!(
+            reg.get("other"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        let summaries = reg.summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].name, "toy");
+        assert_eq!(summaries[0].nodes, g.num_nodes());
+        assert_eq!(summaries[0].edges, g.num_edges());
+    }
+
+    #[test]
+    fn idempotent_reregistration_conflicting_data_rejected() {
+        let reg = DatasetRegistry::new();
+        let g = toy_social_graph();
+        reg.register("toy", g.clone()).unwrap();
+        reg.register("toy", g.clone()).unwrap(); // identical: fine
+        let different = AttributedGraph::unattributed(3);
+        assert!(matches!(
+            reg.register("toy", different),
+            Err(ServiceError::DatasetConflict(_))
+        ));
+        assert!(reg.register("bad name", g).is_err());
+    }
+}

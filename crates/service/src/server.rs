@@ -1,0 +1,960 @@
+//! The HTTP server: a `std::net::TcpListener` acceptor feeding a fixed pool
+//! of worker threads (no async runtime — the container has no crates.io
+//! access, so the framing in [`crate::http`] is hand-rolled).
+//!
+//! Endpoints:
+//!
+//! | Method & path        | Purpose |
+//! |----------------------|---------|
+//! | `GET /healthz`       | liveness + cache counters |
+//! | `GET /datasets`      | registered datasets with budget states |
+//! | `POST /datasets`     | register a graph + total ε budget |
+//! | `POST /synthesize`   | admit (budget/cache) and enqueue a job |
+//! | `GET /jobs/:id`      | poll an enqueued job |
+//! | `GET /budget/:name`  | one dataset's ledger state |
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Value;
+
+use agmdp_core::correlations_dp::CorrelationMethod;
+use agmdp_core::workflow::StructuralModelKind;
+use agmdp_graph::{io, GraphError};
+
+use crate::engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
+use crate::error::ServiceError;
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::jobs::{JobState, JobStore};
+use crate::json;
+use crate::ledger::BudgetLedger;
+
+/// How long a worker waits for a slow client before dropping the connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Concurrent synthesis jobs allowed per HTTP worker thread. Admission is
+/// cheap, but each job runs a full fit + sample; without a cap a client
+/// replaying one cached (ε-free) request could spawn unbounded work.
+const JOBS_PER_WORKER: usize = 4;
+
+/// Server configuration (mirrors `agmdp serve --addr --threads --ledger-path`).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Number of HTTP worker threads.
+    pub threads: usize,
+    /// Journal path for the persistent budget ledger; `None` keeps budgets
+    /// in memory only.
+    pub ledger_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            ledger_path: None,
+        }
+    }
+}
+
+/// Handle to a running server; stops (and joins) on [`ServerHandle::stop`] or
+/// drop.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Arc<SynthesisEngine>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the server (registry, ledger, cache).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<SynthesisEngine> {
+        &self.engine
+    }
+
+    /// Signals shutdown and joins the acceptor and workers. In-flight
+    /// requests finish; queued jobs already spawned keep running detached.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    /// Blocks until the acceptor exits (i.e. forever, absent a signal) — the
+    /// foreground `agmdp serve` path.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn stop_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept() with a throwaway connect.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Binds the listener, builds the engine (opening the ledger journal when a
+/// path is configured) and starts the acceptor + worker threads.
+pub fn start(config: &ServiceConfig) -> Result<ServerHandle, ServiceError> {
+    let ledger = match &config.ledger_path {
+        Some(path) => BudgetLedger::open(path)?,
+        None => BudgetLedger::in_memory(),
+    };
+    start_with_engine(config, SynthesisEngine::new(ledger))
+}
+
+/// [`start`] with a pre-built engine (tests pre-register datasets this way).
+pub fn start_with_engine(
+    config: &ServiceConfig,
+    engine: SynthesisEngine,
+) -> Result<ServerHandle, ServiceError> {
+    if config.threads == 0 || config.threads > 1024 {
+        return Err(ServiceError::InvalidRequest(
+            "threads must be in 1..=1024".to_string(),
+        ));
+    }
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServiceError::InvalidRequest(format!("bind {}: {e}", config.addr)))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| ServiceError::InvalidRequest(format!("local_addr: {e}")))?;
+
+    let engine = Arc::new(engine);
+    let state = Arc::new(ServerState {
+        engine: Arc::clone(&engine),
+        jobs: JobStore::new(),
+        active_jobs: AtomicUsize::new(0),
+        max_jobs: config.threads.saturating_mul(JOBS_PER_WORKER),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let mut workers = Vec::with_capacity(config.threads);
+    for i in 0..config.threads {
+        let receiver = Arc::clone(&receiver);
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("agmdp-http-{i}"))
+                .spawn(move || worker_loop(&receiver, &state))
+                .map_err(|e| ServiceError::InvalidRequest(format!("spawn worker: {e}")))?,
+        );
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("agmdp-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if sender.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping `sender` closes the channel; workers drain and exit.
+            })
+            .map_err(|e| ServiceError::InvalidRequest(format!("spawn acceptor: {e}")))?
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+        engine,
+    })
+}
+
+/// Shared per-server state handed to every HTTP worker.
+struct ServerState {
+    engine: Arc<SynthesisEngine>,
+    jobs: JobStore,
+    /// Synthesis jobs currently queued or running.
+    active_jobs: AtomicUsize,
+    /// Cap on `active_jobs`; further `/synthesize` requests get a 503
+    /// *before* admission (so no ε is drawn for refused work).
+    max_jobs: usize,
+}
+
+/// RAII token for one slot of the synthesis-job cap; owns the state so it can
+/// travel into the job thread and release on any exit path.
+struct JobSlot {
+    state: Arc<ServerState>,
+}
+
+impl ServerState {
+    fn try_acquire_job_slot(self: &Arc<Self>) -> Option<JobSlot> {
+        let mut current = self.active_jobs.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max_jobs {
+                return None;
+            }
+            match self.active_jobs.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(JobSlot {
+                        state: Arc::clone(self),
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for JobSlot {
+    fn drop(&mut self) {
+        self.state.active_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<ServerState>) {
+    loop {
+        let stream = {
+            let guard = receiver.lock().expect("connection queue lock poisoned");
+            guard.recv()
+        };
+        let Ok(stream) = stream else {
+            return; // channel closed: server stopping
+        };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let response = match read_request(&stream) {
+            Ok(request) => route(state, &request),
+            Err(HttpError { status, message }) => error_body(status, "bad_request", &message),
+        };
+        let _ = write_response(&stream, &response);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and handlers
+// ---------------------------------------------------------------------------
+
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let engine = &state.engine;
+    let jobs = &state.jobs;
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => handle_healthz(engine),
+        ("GET", "/datasets") => handle_list_datasets(engine),
+        ("POST", "/datasets") => handle_register_dataset(engine, &request.body),
+        ("POST", "/synthesize") => handle_synthesize(state, &request.body),
+        ("GET", _) if path.starts_with("/jobs/") => handle_job(jobs, &path["/jobs/".len()..]),
+        ("GET", _) if path.starts_with("/budget/") => {
+            handle_budget(engine, &path["/budget/".len()..])
+        }
+        (_, "/healthz" | "/datasets" | "/synthesize") => {
+            error_body(405, "method_not_allowed", "method not allowed")
+        }
+        (_, _) if path.starts_with("/jobs/") || path.starts_with("/budget/") => {
+            error_body(405, "method_not_allowed", "method not allowed")
+        }
+        _ => error_body(404, "not_found", &format!("no route for {path}")),
+    }
+}
+
+fn handle_healthz(engine: &Arc<SynthesisEngine>) -> Response {
+    let (hits, misses) = engine.cache().counters();
+    ok_json(
+        200,
+        obj(vec![
+            ("status", Value::Str("ok".into())),
+            ("version", Value::Str(env!("CARGO_PKG_VERSION").into())),
+            (
+                "datasets",
+                Value::UInt(engine.registry().summaries().len() as u64),
+            ),
+            (
+                "cache",
+                obj(vec![
+                    ("entries", Value::UInt(engine.cache().len() as u64)),
+                    ("hits", Value::UInt(hits)),
+                    ("misses", Value::UInt(misses)),
+                ]),
+            ),
+        ]),
+    )
+}
+
+fn handle_list_datasets(engine: &Arc<SynthesisEngine>) -> Response {
+    // One ledger-lock acquisition for the whole listing.
+    let budgets: std::collections::BTreeMap<_, _> =
+        engine.ledger().statuses().into_iter().collect();
+    let datasets: Vec<Value> = engine
+        .registry()
+        .summaries()
+        .into_iter()
+        .map(|summary| {
+            let mut entries = vec![
+                ("name", Value::Str(summary.name.clone())),
+                ("nodes", Value::UInt(summary.nodes as u64)),
+                ("edges", Value::UInt(summary.edges as u64)),
+                (
+                    "attribute_width",
+                    Value::UInt(summary.attribute_width as u64),
+                ),
+            ];
+            if let Some(status) = budgets.get(&summary.name) {
+                entries.push(("budget", budget_value(*status)));
+            }
+            obj(entries)
+        })
+        .collect();
+    ok_json(200, obj(vec![("datasets", Value::Array(datasets))]))
+}
+
+fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Response {
+    let parsed = match parse_body(body, &["name", "budget", "graph", "path"]) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(name) = json::get(&parsed, "name").and_then(json::as_str) else {
+        return error_body(400, "invalid_request", "'name' (string) is required");
+    };
+    let Some(budget) = json::get(&parsed, "budget").and_then(json::as_f64) else {
+        return error_body(400, "invalid_request", "'budget' (number) is required");
+    };
+    let graph = match (
+        json::get(&parsed, "graph").and_then(json::as_str),
+        json::get(&parsed, "path").and_then(json::as_str),
+    ) {
+        (Some(text), None) => match io::from_text(text) {
+            Ok(g) => g,
+            Err(e) => return error_body(400, "invalid_request", &format!("bad graph: {e}")),
+        },
+        (None, Some(path)) => match io::read_file(path) {
+            Ok(g) => g,
+            // Parse errors quote tokens of the file; for server-side paths
+            // that would let a remote client probe arbitrary readable files,
+            // so only I/O errors (no content) are echoed.
+            Err(GraphError::Format(_)) => {
+                return error_body(
+                    400,
+                    "invalid_request",
+                    &format!("'{path}' is not a valid graph file"),
+                )
+            }
+            Err(e) => {
+                return error_body(400, "invalid_request", &format!("cannot load {path}: {e}"))
+            }
+        },
+        _ => {
+            return error_body(
+                400,
+                "invalid_request",
+                "exactly one of 'graph' (inline text) or 'path' (server file) is required",
+            )
+        }
+    };
+    match engine.register_dataset(name, graph, budget) {
+        Ok(summary) => {
+            let status = engine.ledger().status(name);
+            let mut entries = vec![
+                ("name", Value::Str(summary.name)),
+                ("nodes", Value::UInt(summary.nodes as u64)),
+                ("edges", Value::UInt(summary.edges as u64)),
+                (
+                    "attribute_width",
+                    Value::UInt(summary.attribute_width as u64),
+                ),
+            ];
+            if let Some(status) = status {
+                entries.push(("budget", budget_value(status)));
+            }
+            ok_json(201, obj(entries))
+        }
+        Err(e) => service_error(&e),
+    }
+}
+
+fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    let request = match parse_synthesize_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    // Acquire a job slot *before* admission: a refused request must not have
+    // drawn ε, and the slot cap keeps a flood of (ε-free) cache hits from
+    // spawning unbounded background work.
+    let Some(slot) = state.try_acquire_job_slot() else {
+        return error_body(
+            503,
+            "overloaded",
+            &format!(
+                "{} synthesis jobs already in flight; retry later",
+                state.max_jobs
+            ),
+        );
+    };
+    // Synchronous admission: over-budget requests are refused here, before
+    // any learning runs (402), and never create a job.
+    let admission = match state.engine.admit(&request) {
+        Ok(a) => a,
+        Err(e) => return service_error(&e), // slot released by drop
+    };
+    let job_id = state.jobs.create();
+    let cache_hit = admission.cache_hit();
+    let epsilon_spent = admission.epsilon_spent();
+    let spawned = std::thread::Builder::new()
+        .name(format!("agmdp-job-{job_id}"))
+        .spawn(move || {
+            // `slot` lives for the whole job; dropping it (including on
+            // completion, failure or panic) frees the concurrency slot.
+            let state = Arc::clone(&slot.state);
+            state.jobs.set(job_id, JobState::Running);
+            // A panic in the pipeline must still land the job in a terminal
+            // state — live jobs are never evicted and clients poll them.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                state.engine.run(&request, admission)
+            }));
+            match run {
+                Ok(Ok(outcome)) => state.jobs.set(job_id, JobState::Completed(outcome)),
+                Ok(Err(e)) => state.jobs.set(job_id, JobState::Failed(e.to_string())),
+                Err(panic) => {
+                    let what = panic
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "synthesis panicked".to_string());
+                    state
+                        .jobs
+                        .set(job_id, JobState::Failed(format!("panic: {what}")));
+                }
+            }
+        });
+    if let Err(e) = spawned {
+        // The admission's ε is already journaled; record the failure on the
+        // job so the spend stays traceable, and tell the client which job to
+        // look at.
+        state
+            .jobs
+            .set(job_id, JobState::Failed(format!("spawn failed: {e}")));
+        let body = obj(vec![
+            ("error", Value::Str("overloaded".into())),
+            (
+                "message",
+                Value::Str("could not spawn synthesis job".into()),
+            ),
+            ("job_id", Value::UInt(job_id)),
+            ("epsilon_spent", Value::Float(epsilon_spent)),
+        ]);
+        return Response::json(503, serde_json::to_string(&body).expect("serialize"));
+    }
+    ok_json(
+        202,
+        obj(vec![
+            ("job_id", Value::UInt(job_id)),
+            ("cache_hit", Value::Bool(cache_hit)),
+            ("epsilon_spent", Value::Float(epsilon_spent)),
+        ]),
+    )
+}
+
+fn handle_job(jobs: &JobStore, id_text: &str) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return error_body(400, "invalid_request", "job id must be an integer");
+    };
+    let Some(state) = jobs.get(id) else {
+        return error_body(404, "not_found", &format!("unknown job {id}"));
+    };
+    let mut entries = vec![
+        ("id", Value::UInt(id)),
+        ("status", Value::Str(state.status().into())),
+    ];
+    match state {
+        JobState::Completed(outcome) => entries.push(("result", outcome_value(&outcome))),
+        JobState::Failed(message) => entries.push(("error", Value::Str(message))),
+        JobState::Queued | JobState::Running => {}
+    }
+    ok_json(200, obj(entries))
+}
+
+fn handle_budget(engine: &Arc<SynthesisEngine>, name: &str) -> Response {
+    match engine.ledger().status(name) {
+        Some(status) => ok_json(
+            200,
+            obj(vec![
+                ("dataset", Value::Str(name.into())),
+                ("total", Value::Float(status.total)),
+                ("spent", Value::Float(status.spent)),
+                ("remaining", Value::Float(status.remaining)),
+            ]),
+        ),
+        None => error_body(404, "not_found", &format!("unknown dataset '{name}'")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body parsing
+// ---------------------------------------------------------------------------
+
+fn parse_body(body: &[u8], allowed_keys: &[&str]) -> Result<Value, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| error_body(400, "invalid_request", "body must be UTF-8 JSON"))?;
+    let value =
+        json::parse(text).map_err(|e| error_body(400, "invalid_request", &e.to_string()))?;
+    let Value::Object(entries) = &value else {
+        return Err(error_body(
+            400,
+            "invalid_request",
+            "body must be a JSON object",
+        ));
+    };
+    for (key, _) in entries {
+        if !allowed_keys.contains(&key.as_str()) {
+            return Err(error_body(
+                400,
+                "invalid_request",
+                &format!(
+                    "unknown field '{key}' (allowed: {})",
+                    allowed_keys.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(value)
+}
+
+fn parse_synthesize_body(body: &[u8]) -> Result<SynthesisRequest, Response> {
+    let parsed = parse_body(
+        body,
+        &[
+            "dataset",
+            "epsilon",
+            "model",
+            "method",
+            "k",
+            "delta",
+            "seed",
+            "iterations",
+            "return_graph",
+        ],
+    )?;
+    let dataset = json::get(&parsed, "dataset")
+        .and_then(json::as_str)
+        .ok_or_else(|| error_body(400, "invalid_request", "'dataset' (string) is required"))?;
+    let epsilon = json::get(&parsed, "epsilon")
+        .and_then(json::as_f64)
+        .ok_or_else(|| error_body(400, "invalid_request", "'epsilon' (number) is required"))?;
+
+    let model = match json::get(&parsed, "model") {
+        None => StructuralModelKind::TriCycLe,
+        Some(v) => {
+            let name = json::as_str(v)
+                .ok_or_else(|| error_body(400, "invalid_request", "'model' must be a string"))?;
+            StructuralModelKind::parse(name).map_err(|e| error_body(400, "invalid_request", &e))?
+        }
+    };
+
+    let k = match json::get(&parsed, "k") {
+        None => None,
+        Some(v) => Some(json::as_u64(v).ok_or_else(|| {
+            error_body(400, "invalid_request", "'k' must be a non-negative integer")
+        })? as usize),
+    };
+    let delta = match json::get(&parsed, "delta") {
+        None => 1e-6,
+        Some(v) => json::as_f64(v)
+            .ok_or_else(|| error_body(400, "invalid_request", "'delta' must be a number"))?,
+    };
+    let method = match json::get(&parsed, "method") {
+        None => CorrelationMethod::EdgeTruncation { k },
+        Some(v) => {
+            let name = json::as_str(v)
+                .ok_or_else(|| error_body(400, "invalid_request", "'method' must be a string"))?;
+            CorrelationMethod::from_parts(name, k, delta)
+                .map_err(|e| error_body(400, "invalid_request", &e))?
+        }
+    };
+
+    let seed = match json::get(&parsed, "seed") {
+        None => 2016,
+        Some(v) => json::as_u64(v).ok_or_else(|| {
+            error_body(
+                400,
+                "invalid_request",
+                "'seed' must be a non-negative integer",
+            )
+        })?,
+    };
+    let iterations = match json::get(&parsed, "iterations") {
+        None => 3,
+        Some(v) => json::as_u64(v).ok_or_else(|| {
+            error_body(
+                400,
+                "invalid_request",
+                "'iterations' must be a positive integer",
+            )
+        })? as usize,
+    };
+    let return_graph = match json::get(&parsed, "return_graph") {
+        None => false,
+        Some(v) => json::as_bool(v).ok_or_else(|| {
+            error_body(400, "invalid_request", "'return_graph' must be a boolean")
+        })?,
+    };
+
+    Ok(SynthesisRequest {
+        dataset: dataset.to_string(),
+        epsilon,
+        model,
+        method,
+        seed,
+        refinement_iterations: iterations,
+        return_graph,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// JSON response construction
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&'static str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn budget_value(status: crate::ledger::BudgetStatus) -> Value {
+    obj(vec![
+        ("total", Value::Float(status.total)),
+        ("spent", Value::Float(status.spent)),
+        ("remaining", Value::Float(status.remaining)),
+    ])
+}
+
+fn outcome_value(outcome: &SynthesisOutcome) -> Value {
+    let mut entries = vec![
+        ("dataset", Value::Str(outcome.dataset.clone())),
+        ("epsilon", Value::Float(outcome.epsilon)),
+        ("epsilon_spent", Value::Float(outcome.epsilon_spent)),
+        ("cache_hit", Value::Bool(outcome.cache_hit)),
+        (
+            "stats",
+            obj(vec![
+                ("nodes", Value::UInt(outcome.stats.nodes as u64)),
+                ("edges", Value::UInt(outcome.stats.edges as u64)),
+                ("triangles", Value::UInt(outcome.stats.triangles)),
+                ("max_degree", Value::UInt(outcome.stats.max_degree as u64)),
+                ("avg_degree", Value::Float(outcome.stats.avg_degree)),
+            ]),
+        ),
+    ];
+    if let Some(text) = &outcome.graph_text {
+        entries.push(("graph", Value::Str(text.clone())));
+    }
+    obj(entries)
+}
+
+fn ok_json(status: u16, value: Value) -> Response {
+    Response::json(status, serde_json::to_string(&value).expect("serialize"))
+}
+
+fn error_body(status: u16, kind: &str, message: &str) -> Response {
+    let value = obj(vec![
+        ("error", Value::Str(kind.into())),
+        ("message", Value::Str(message.into())),
+    ]);
+    Response::json(status, serde_json::to_string(&value).expect("serialize"))
+}
+
+fn service_error(error: &ServiceError) -> Response {
+    error_body(error.http_status(), error.kind(), &error.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_datasets::toy_social_graph;
+
+    fn test_state_with(engine: SynthesisEngine, max_jobs: usize) -> Arc<ServerState> {
+        Arc::new(ServerState {
+            engine: Arc::new(engine),
+            jobs: JobStore::new(),
+            active_jobs: AtomicUsize::new(0),
+            max_jobs,
+        })
+    }
+
+    fn test_state() -> Arc<ServerState> {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine
+            .register_dataset("toy", toy_social_graph(), 10.0)
+            .unwrap();
+        test_state_with(engine, 16)
+    }
+
+    fn get(state: &Arc<ServerState>, path: &str) -> Response {
+        route(
+            state,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                body: Vec::new(),
+            },
+        )
+    }
+
+    fn post(state: &Arc<ServerState>, path: &str, body: &str) -> Response {
+        route(
+            state,
+            &Request {
+                method: "POST".into(),
+                path: path.into(),
+                body: body.as_bytes().to_vec(),
+            },
+        )
+    }
+
+    fn wait_for_job(state: &Arc<ServerState>, id: u64) -> JobState {
+        for _ in 0..600 {
+            match state.jobs.get(id).expect("job exists") {
+                JobState::Queued | JobState::Running => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                done => return done,
+            }
+        }
+        panic!("job {id} did not finish");
+    }
+
+    #[test]
+    fn healthz_and_datasets_routes() {
+        let state = test_state();
+        let health = get(&state, "/healthz");
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"status\":\"ok\""));
+        let list = get(&state, "/datasets");
+        assert_eq!(list.status, 200);
+        assert!(list.body.contains("\"toy\""));
+        assert!(list.body.contains("\"total\":10.0"));
+    }
+
+    #[test]
+    fn synthesize_job_round_trip() {
+        let state = test_state();
+        let accepted = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1}"#,
+        );
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        assert!(accepted.body.contains("\"cache_hit\":false"));
+        let parsed = json::parse(&accepted.body).unwrap();
+        let id = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        match wait_for_job(&state, id) {
+            JobState::Completed(outcome) => {
+                assert_eq!(outcome.dataset, "toy");
+                assert!(outcome.stats.edges > 0);
+            }
+            other => panic!("job failed: {other:?}"),
+        }
+        let job = get(&state, &format!("/jobs/{id}"));
+        assert_eq!(job.status, 200);
+        assert!(job.body.contains("\"status\":\"completed\""));
+        let budget = get(&state, "/budget/toy");
+        assert_eq!(budget.status, 200);
+        assert!(budget.body.contains("\"spent\":0.5"));
+        // The finished job releases its concurrency slot (the release happens
+        // just after the state flips to completed, so poll briefly).
+        for _ in 0..200 {
+            if state.active_jobs.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(state.active_jobs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn bad_requests_get_helpful_errors() {
+        let state = test_state();
+        assert_eq!(post(&state, "/synthesize", "not json").status, 400);
+        assert_eq!(post(&state, "/synthesize", "[1,2]").status, 400);
+        let unknown_field = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"epsilonn":1}"#,
+        );
+        assert_eq!(unknown_field.status, 400);
+        assert!(unknown_field.body.contains("epsilonn"));
+        assert_eq!(
+            post(&state, "/synthesize", r#"{"dataset":"nope","epsilon":0.5}"#).status,
+            404
+        );
+        assert_eq!(get(&state, "/jobs/notanumber").status, 400);
+        assert_eq!(get(&state, "/jobs/424242").status, 404);
+        assert_eq!(get(&state, "/budget/nope").status, 404);
+        assert_eq!(get(&state, "/nope").status, 404);
+        let wrong_method = route(
+            &state,
+            &Request {
+                method: "DELETE".into(),
+                path: "/datasets".into(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(wrong_method.status, 405);
+        // Rejected requests must not leak job slots.
+        assert_eq!(state.active_jobs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn register_dataset_route_validates() {
+        let state = test_state_with(SynthesisEngine::new(BudgetLedger::in_memory()), 16);
+        let graph_text = io::to_text(&toy_social_graph());
+        let body = serde_json::to_string(&obj(vec![
+            ("name", Value::Str("fresh".into())),
+            ("budget", Value::Float(1.5)),
+            ("graph", Value::Str(graph_text)),
+        ]))
+        .unwrap();
+        let created = post(&state, "/datasets", &body);
+        assert_eq!(created.status, 201, "{}", created.body);
+        assert!(created.body.contains("\"total\":1.5"));
+
+        assert_eq!(post(&state, "/datasets", "{}").status, 400);
+        assert_eq!(
+            post(&state, "/datasets", r#"{"name":"x","budget":1}"#).status,
+            400
+        );
+        let bad_graph = post(
+            &state,
+            "/datasets",
+            r#"{"name":"x","budget":1,"graph":"nodes garbage"}"#,
+        );
+        assert_eq!(bad_graph.status, 400);
+    }
+
+    #[test]
+    fn path_parse_errors_do_not_echo_file_content() {
+        let state = test_state_with(SynthesisEngine::new(BudgetLedger::in_memory()), 16);
+        let dir = std::env::temp_dir().join("agmdp_server_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let secret_path = dir.join(format!("secret_{}.txt", std::process::id()));
+        std::fs::write(&secret_path, "hunter2-credential-line\n").unwrap();
+        let body = serde_json::to_string(&obj(vec![
+            ("name", Value::Str("probe".into())),
+            ("budget", Value::Float(1.0)),
+            ("path", Value::Str(secret_path.display().to_string())),
+        ]))
+        .unwrap();
+        let refused = post(&state, "/datasets", &body);
+        assert_eq!(refused.status, 400);
+        assert!(
+            !refused.body.contains("hunter2"),
+            "error body echoed file content: {}",
+            refused.body
+        );
+        std::fs::remove_file(&secret_path).ok();
+    }
+
+    #[test]
+    fn over_budget_rejected_with_402_and_no_job() {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine
+            .register_dataset("tiny", toy_social_graph(), 0.5)
+            .unwrap();
+        let state = test_state_with(engine, 16);
+        let first = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"tiny","epsilon":0.4,"seed":1}"#,
+        );
+        assert_eq!(first.status, 202);
+        let refused = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"tiny","epsilon":0.4,"seed":2}"#,
+        );
+        assert_eq!(refused.status, 402, "{}", refused.body);
+        assert!(refused.body.contains("budget_exhausted"));
+        // No job was created for the refused request.
+        assert!(state.jobs.get(2).is_none());
+        // Once the one accepted job finishes, every slot is free again (the
+        // refused request released its slot immediately).
+        wait_for_job(&state, 1);
+        for _ in 0..200 {
+            if state.active_jobs.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(state.active_jobs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn job_cap_refuses_with_503_before_spending() {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine
+            .register_dataset("toy", toy_social_graph(), 10.0)
+            .unwrap();
+        let state = test_state_with(engine, 0); // no job slots at all
+        let refused = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1}"#,
+        );
+        assert_eq!(refused.status, 503, "{}", refused.body);
+        assert!(refused.body.contains("overloaded"));
+        // The refusal happened before admission: no epsilon was drawn.
+        let spent = state.engine.ledger().status("toy").unwrap().spent;
+        assert_eq!(spent, 0.0);
+    }
+}

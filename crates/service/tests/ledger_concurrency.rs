@@ -1,0 +1,89 @@
+//! Concurrency tests for the privacy-budget ledger: N threads hammering one
+//! dataset's budget must never over-spend, with or without a journal.
+
+use std::sync::{Arc, Barrier};
+
+use agmdp_service::error::ServiceError;
+use agmdp_service::ledger::BudgetLedger;
+
+/// `threads` threads each attempt `attempts` spends of `step` against a
+/// budget of `total`, released simultaneously by a barrier. Returns the
+/// number of granted spends.
+fn hammer(ledger: Arc<BudgetLedger>, threads: usize, attempts: usize, step: f64) -> usize {
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let ledger = Arc::clone(&ledger);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut granted = 0usize;
+                for _ in 0..attempts {
+                    match ledger.spend("shared", step) {
+                        Ok(()) => granted += 1,
+                        Err(ServiceError::BudgetExhausted { .. }) => {}
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+                granted
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+#[test]
+fn concurrent_spends_never_exceed_total_in_memory() {
+    let total = 1.0;
+    let step = total / 250.0;
+    let ledger = Arc::new(BudgetLedger::in_memory());
+    ledger.register("shared", total).unwrap();
+
+    // 8 threads × 50 attempts = 400 requested spends, only 250 fit.
+    let granted = hammer(Arc::clone(&ledger), 8, 50, step);
+
+    let status = ledger.status("shared").unwrap();
+    assert!(
+        status.spent <= total * (1.0 + 1e-9),
+        "over-spent: {} > {total}",
+        status.spent
+    );
+    assert_eq!(granted, 250, "exactly total/step spends must be granted");
+    // The accountant agrees with the grant count (compensated sum).
+    assert!((status.spent - step * granted as f64).abs() < 1e-12);
+    assert!(matches!(
+        ledger.spend("shared", step),
+        Err(ServiceError::BudgetExhausted { .. })
+    ));
+}
+
+#[test]
+fn concurrent_spends_with_journal_stay_consistent_across_restart() {
+    let dir = std::env::temp_dir().join("agmdp_ledger_concurrency");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("hammer_{}.ledger", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let total = 0.5;
+    let step = total / 100.0;
+    let granted;
+    {
+        let ledger = Arc::new(BudgetLedger::open(&path).unwrap());
+        ledger.register("shared", total).unwrap();
+        granted = hammer(Arc::clone(&ledger), 6, 30, step); // 180 attempts, 100 fit
+        let status = ledger.status("shared").unwrap();
+        assert!(status.spent <= total * (1.0 + 1e-9));
+        assert_eq!(granted, 100);
+    }
+
+    // Every granted spend was journaled: replay lands on the same state.
+    let reopened = BudgetLedger::open(&path).unwrap();
+    let status = reopened.status("shared").unwrap();
+    assert!((status.spent - step * granted as f64).abs() < 1e-12);
+    assert!(status.remaining < 1e-9);
+    assert!(matches!(
+        reopened.spend("shared", step),
+        Err(ServiceError::BudgetExhausted { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,183 @@
+//! Shared command-line flag parsing for the `agmdp` subcommands.
+//!
+//! Each subcommand declares which `--flags` take a value and which are bare
+//! switches; [`parse`] validates the token stream in one pass (unknown flags,
+//! duplicates, and missing values are errors instead of being silently
+//! ignored) and the [`FlagSet`] accessors handle required/optional/typed
+//! lookups so the subcommands stay declarative.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FlagSet {
+    values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+}
+
+/// Parses `args` against the declared flags.
+///
+/// `value_flags` take exactly one value (`--epsilon 1.0`); `switch_flags`
+/// take none (`--non-private`). Every token must be a declared flag (or a
+/// declared flag's value): unknown flags, bare positional arguments,
+/// duplicated flags and a trailing value flag with no value are all errors.
+pub fn parse(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<FlagSet, String> {
+    let mut set = FlagSet::default();
+    let mut i = 0;
+    while i < args.len() {
+        let token = args[i].as_str();
+        if value_flags.contains(&token) {
+            if set.values.contains_key(token) {
+                return Err(format!("duplicate flag {token}"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for {token}"))?;
+            set.values.insert(token.to_string(), value.clone());
+            i += 2;
+        } else if switch_flags.contains(&token) {
+            if !set.switches.insert(token.to_string()) {
+                return Err(format!("duplicate flag {token}"));
+            }
+            i += 1;
+        } else if token.starts_with("--") {
+            return Err(format!(
+                "unknown flag {token} (expected one of: {})",
+                value_flags
+                    .iter()
+                    .chain(switch_flags.iter())
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        } else {
+            return Err(format!("unexpected argument '{token}'"));
+        }
+    }
+    Ok(set)
+}
+
+impl FlagSet {
+    /// The raw value of a flag, if present.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Whether a switch flag was passed.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
+    }
+
+    /// The raw value of a required flag.
+    pub fn require(&self, flag: &str, what: &str) -> Result<&str, String> {
+        self.get(flag)
+            .ok_or_else(|| format!("{flag} {what} is required"))
+    }
+
+    /// A typed optional flag; a present-but-unparsable value is an error.
+    pub fn get_parsed<T>(&self, flag: &str, what: &str) -> Result<Option<T>, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("{flag} must be {what} (got '{raw}': {e})")),
+        }
+    }
+
+    /// A typed flag with a default when absent.
+    pub fn get_parsed_or<T>(&self, flag: &str, what: &str, default: T) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        Ok(self.get_parsed(flag, what)?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let set = parse(
+            &argv(&["--input", "a.graph", "--epsilon", "1.5", "--non-private"]),
+            &["--input", "--epsilon"],
+            &["--non-private"],
+        )
+        .unwrap();
+        assert_eq!(set.get("--input"), Some("a.graph"));
+        assert_eq!(
+            set.get_parsed::<f64>("--epsilon", "a number").unwrap(),
+            Some(1.5)
+        );
+        assert!(set.has("--non-private"));
+        assert!(!set.has("--other"));
+        assert_eq!(set.get("--missing"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse(&argv(&["--bogus", "1"]), &["--input"], &[]).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        assert!(
+            err.contains("--input"),
+            "error should list valid flags: {err}"
+        );
+        let err = parse(&argv(&["stray"]), &["--input"], &[]).unwrap_err();
+        assert!(err.contains("unexpected argument 'stray'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let err = parse(&argv(&["--seed", "1", "--seed", "2"]), &["--seed"], &[]).unwrap_err();
+        assert!(err.contains("duplicate flag --seed"), "{err}");
+        let err = parse(&argv(&["--v", "--v"]), &[], &["--v"]).unwrap_err();
+        assert!(err.contains("duplicate flag --v"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_values_and_required_flags() {
+        let err = parse(&argv(&["--input"]), &["--input"], &[]).unwrap_err();
+        assert!(err.contains("missing value for --input"), "{err}");
+
+        let set = parse(&argv(&[]), &["--input"], &[]).unwrap();
+        let err = set.require("--input", "<graph>").unwrap_err();
+        assert!(err.contains("--input <graph> is required"), "{err}");
+    }
+
+    #[test]
+    fn typed_accessors_report_parse_failures() {
+        let set = parse(&argv(&["--seed", "abc"]), &["--seed"], &[]).unwrap();
+        let err = set.get_parsed::<u64>("--seed", "an integer").unwrap_err();
+        assert!(err.contains("--seed must be an integer"), "{err}");
+        assert!(err.contains("abc"), "{err}");
+        let set = parse(&argv(&["--seed", "7"]), &["--seed"], &[]).unwrap();
+        assert_eq!(set.get_parsed_or("--seed", "an integer", 1u64).unwrap(), 7);
+        assert_eq!(set.get_parsed_or("--other", "an integer", 1u64).unwrap(), 1);
+    }
+
+    #[test]
+    fn values_may_look_like_flags_only_when_declared() {
+        // A value that itself starts with "--" is consumed as the value.
+        let set = parse(&argv(&["--output", "--weird-name"]), &["--output"], &[]).unwrap();
+        assert_eq!(set.get("--output"), Some("--weird-name"));
+    }
+}

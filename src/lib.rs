@@ -20,6 +20,7 @@
 //! | [`core`] | AGM parameters, DP learners, the AGM-DP synthesis workflow |
 //! | [`metrics`] | KS / Hellinger / MRE evaluation statistics |
 //! | [`datasets`] | synthetic stand-ins for the paper's four datasets |
+//! | [`service`] | multi-tenant HTTP synthesis server: budget ledger, fitted-model cache, async jobs |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use agmdp_graph as graph;
 pub use agmdp_metrics as metrics;
 pub use agmdp_models as models;
 pub use agmdp_privacy as privacy;
+pub use agmdp_service as service;
 
 /// The most commonly used items, re-exported for `use agmdp::prelude::*`.
 pub mod prelude {

@@ -9,8 +9,13 @@
 //!   graph.
 //! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
 //!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
+//! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]` — run
+//!   the multi-tenant synthesis server with a persistent privacy-budget
+//!   ledger.
 //!
 //! Run `agmdp help` for the full usage text.
+
+mod args;
 
 use std::process::ExitCode;
 
@@ -25,6 +30,9 @@ use agmdp::graph::components::connected_components;
 use agmdp::graph::triangles::count_triangles;
 use agmdp::graph::{io, AttributedGraph};
 use agmdp::metrics::GraphComparison;
+use agmdp::service::{self, ServiceConfig};
+
+use args::FlagSet;
 
 const USAGE: &str = "\
 agmdp — differentially private synthesis of attributed social graphs
@@ -36,10 +44,13 @@ USAGE:
                      [--k <truncation-k>] [--iterations <n>] [--seed <s>] [--non-private]
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
+    agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
     agmdp help
 
 The graph file format is the line-oriented text format documented in
-`agmdp::graph::io` (nodes/attr/edge records).";
+`agmdp::graph::io` (nodes/attr/edge records). `serve` exposes the JSON
+endpoints GET /healthz, GET /datasets, POST /datasets, POST /synthesize,
+GET /jobs/:id and GET /budget/:dataset.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +58,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("synthesize") => cmd_synthesize(&args[1..]),
         Some("generate-dataset") => cmd_generate_dataset(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -60,17 +72,6 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
 }
 
 fn print_stats(graph: &AttributedGraph) {
@@ -107,54 +108,42 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the correlation method from `--method`/`--k` via the parser shared
+/// with the service API (`CorrelationMethod::from_parts`).
+fn correlation_method(flags: &FlagSet) -> Result<CorrelationMethod, String> {
+    let k: Option<usize> = flags.get_parsed("--k", "a positive integer")?;
+    CorrelationMethod::from_parts(flags.get("--method").unwrap_or("truncation"), k, 1e-6)
+}
+
 fn cmd_synthesize(args: &[String]) -> Result<(), String> {
-    let input = flag_value(args, "--input").ok_or("--input <graph> is required")?;
-    let output = flag_value(args, "--output").ok_or("--output <graph> is required")?;
-    let non_private = has_flag(args, "--non-private");
-    let privacy = if non_private {
+    let flags = args::parse(
+        args,
+        &[
+            "--input",
+            "--output",
+            "--epsilon",
+            "--model",
+            "--method",
+            "--k",
+            "--iterations",
+            "--seed",
+        ],
+        &["--non-private"],
+    )?;
+    let input = flags.require("--input", "<graph>")?.to_string();
+    let output = flags.require("--output", "<graph>")?.to_string();
+    let privacy = if flags.has("--non-private") {
         Privacy::NonPrivate
     } else {
-        let epsilon: f64 = flag_value(args, "--epsilon")
-            .ok_or("--epsilon <e> is required (or pass --non-private)")?
-            .parse()
-            .map_err(|_| "--epsilon must be a number")?;
+        let epsilon: f64 = flags
+            .get_parsed("--epsilon", "a number")?
+            .ok_or("--epsilon <e> is required (or pass --non-private)")?;
         Privacy::Dp { epsilon }
     };
-    let model = match flag_value(args, "--model").as_deref() {
-        None | Some("tricycle") => StructuralModelKind::TriCycLe,
-        Some("fcl") => StructuralModelKind::Fcl,
-        Some(other) => {
-            return Err(format!(
-                "unknown model '{other}' (expected fcl or tricycle)"
-            ))
-        }
-    };
-    let k = match flag_value(args, "--k") {
-        None => None,
-        Some(v) => Some(
-            v.parse::<usize>()
-                .map_err(|_| "--k must be a positive integer")?,
-        ),
-    };
-    let correlation_method = match flag_value(args, "--method").as_deref() {
-        None | Some("truncation") => CorrelationMethod::EdgeTruncation { k },
-        Some("smooth") => CorrelationMethod::SmoothSensitivity { delta: 1e-6 },
-        Some("sample-aggregate") => CorrelationMethod::SampleAggregate {
-            group_size: k.unwrap_or(32).max(2),
-        },
-        Some("naive") => CorrelationMethod::NaiveLaplace,
-        Some(other) => return Err(format!("unknown correlation method '{other}'")),
-    };
-    let refinement_iterations = match flag_value(args, "--iterations") {
-        None => 3,
-        Some(v) => v
-            .parse()
-            .map_err(|_| "--iterations must be a positive integer")?,
-    };
-    let seed: u64 = match flag_value(args, "--seed") {
-        None => 2016,
-        Some(v) => v.parse().map_err(|_| "--seed must be an integer")?,
-    };
+    let model = StructuralModelKind::parse(flags.get("--model").unwrap_or("tricycle"))?;
+    let correlation_method = correlation_method(&flags)?;
+    let refinement_iterations = flags.get_parsed_or("--iterations", "a positive integer", 3)?;
+    let seed: u64 = flags.get_parsed_or("--seed", "an integer", 2016)?;
 
     let graph = io::read_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
     let config = AgmConfig {
@@ -189,19 +178,12 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
-    let name = flag_value(args, "--name").ok_or("--name <dataset> is required")?;
-    let output = flag_value(args, "--output").ok_or("--output <graph> is required")?;
-    let scale: f64 = match flag_value(args, "--scale") {
-        None => 1.0,
-        Some(v) => v
-            .parse()
-            .map_err(|_| "--scale must be a number in (0, 1]")?,
-    };
-    let seed: u64 = match flag_value(args, "--seed") {
-        None => 2016,
-        Some(v) => v.parse().map_err(|_| "--seed must be an integer")?,
-    };
-    let spec = match name.as_str() {
+    let flags = args::parse(args, &["--name", "--output", "--scale", "--seed"], &[])?;
+    let name = flags.require("--name", "<dataset>")?;
+    let output = flags.require("--output", "<graph>")?.to_string();
+    let scale: f64 = flags.get_parsed_or("--scale", "a number in (0, 1]", 1.0)?;
+    let seed: u64 = flags.get_parsed_or("--seed", "an integer", 2016)?;
+    let spec = match name {
         "lastfm" => DatasetSpec::lastfm(),
         "petster" => DatasetSpec::petster(),
         "epinions" => DatasetSpec::epinions(),
@@ -218,5 +200,28 @@ fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
         graph.num_nodes(),
         graph.num_edges()
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = args::parse(args, &["--addr", "--threads", "--ledger-path"], &[])?;
+    let default = ServiceConfig::default();
+    let config = ServiceConfig {
+        addr: flags.get("--addr").unwrap_or(&default.addr).to_string(),
+        threads: flags.get_parsed_or("--threads", "a positive integer", default.threads)?,
+        ledger_path: flags.get("--ledger-path").map(Into::into),
+    };
+    let handle = service::start(&config).map_err(|e| format!("failed to start server: {e}"))?;
+    println!(
+        "agmdp-service listening on http://{} ({} worker threads, ledger: {})",
+        handle.local_addr(),
+        config.threads,
+        config
+            .ledger_path
+            .as_deref()
+            .map_or("in-memory".to_string(), |p| p.display().to_string()),
+    );
+    println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset");
+    handle.wait();
     Ok(())
 }

@@ -1,0 +1,270 @@
+//! End-to-end test of the `agmdp-service` HTTP server over real sockets:
+//! boot on an ephemeral port, register a dataset, run two synthesize jobs,
+//! watch the ledger decrease, get refused once the budget is exhausted, and
+//! verify the ledger state survives a server restart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use agmdp::graph::io;
+use agmdp::service::json;
+use agmdp::service::{ServerHandle, ServiceConfig};
+use serde::Value;
+
+// ---------------------------------------------------------------------------
+// A tiny raw-TCP HTTP client (the repo vendors no HTTP client either).
+// ---------------------------------------------------------------------------
+
+struct Reply {
+    status: u16,
+    body: Value,
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body_text = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let body =
+        json::parse(body_text).unwrap_or_else(|e| panic!("non-JSON body ({e}): {body_text:?}"));
+    Reply { status, body }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    request(addr, "GET", path, None)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    request(addr, "POST", path, Some(body))
+}
+
+fn field_f64(value: &Value, key: &str) -> f64 {
+    json::get(value, key)
+        .and_then(json::as_f64)
+        .unwrap_or_else(|| panic!("missing number '{key}' in {value:?}"))
+}
+
+fn field_u64(value: &Value, key: &str) -> u64 {
+    json::get(value, key)
+        .and_then(json::as_u64)
+        .unwrap_or_else(|| panic!("missing integer '{key}' in {value:?}"))
+}
+
+fn field_bool(value: &Value, key: &str) -> bool {
+    json::get(value, key)
+        .and_then(json::as_bool)
+        .unwrap_or_else(|| panic!("missing bool '{key}' in {value:?}"))
+}
+
+/// Polls `GET /jobs/:id` until the job leaves queued/running.
+fn wait_for_job(addr: SocketAddr, job_id: u64) -> Value {
+    for _ in 0..1200 {
+        let reply = get(addr, &format!("/jobs/{job_id}"));
+        assert_eq!(reply.status, 200);
+        let status = json::get(&reply.body, "status")
+            .and_then(json::as_str)
+            .expect("job status")
+            .to_string();
+        match status.as_str() {
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(25)),
+            "completed" => return reply.body,
+            other => panic!("job {job_id} ended as {other}: {:?}", reply.body),
+        }
+    }
+    panic!("job {job_id} did not complete in time");
+}
+
+fn boot(ledger_path: &std::path::Path) -> ServerHandle {
+    agmdp::service::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(), // ephemeral port
+        threads: 3,
+        ledger_path: Some(ledger_path.to_path_buf()),
+    })
+    .expect("server start")
+}
+
+#[test]
+fn budget_ledger_enforces_and_survives_restart_over_http() {
+    let dir = std::env::temp_dir().join("agmdp_service_http_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger_path = dir.join(format!("budget_{}.ledger", std::process::id()));
+    std::fs::remove_file(&ledger_path).ok();
+
+    let graph_text = io::to_text(&agmdp::datasets::toy_social_graph());
+    let register_body = serde_json::to_string(&Value::Object(vec![
+        ("name".to_string(), Value::Str("toy".to_string())),
+        ("budget".to_string(), Value::Float(1.0)),
+        ("graph".to_string(), Value::Str(graph_text.clone())),
+    ]))
+    .unwrap();
+
+    let server = boot(&ledger_path);
+    let addr = server.local_addr();
+
+    // Liveness and an empty registry.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        json::get(&health.body, "status").and_then(json::as_str),
+        Some("ok")
+    );
+    assert_eq!(field_u64(&health.body, "datasets"), 0);
+
+    // Register the dataset with a total budget of ε = 1.
+    let created = post(addr, "/datasets", &register_body);
+    assert_eq!(created.status, 201, "{:?}", created.body);
+    let listed = get(addr, "/datasets");
+    assert_eq!(listed.status, 200);
+    match json::get(&listed.body, "datasets") {
+        Some(Value::Array(items)) => assert_eq!(items.len(), 1),
+        other => panic!("expected dataset array, got {other:?}"),
+    }
+
+    // Two synthesize jobs at ε = 0.4 each: both succeed, ledger decreases.
+    let first = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.4,"seed":11,"return_graph":true}"#,
+    );
+    assert_eq!(first.status, 202, "{:?}", first.body);
+    assert!(!field_bool(&first.body, "cache_hit"));
+    let first_job = wait_for_job(addr, field_u64(&first.body, "job_id"));
+    let first_result = json::get(&first_job, "result").expect("result");
+    let stats = json::get(first_result, "stats").expect("stats");
+    assert!(field_u64(stats, "edges") > 0);
+    let first_graph = json::get(first_result, "graph")
+        .and_then(json::as_str)
+        .expect("graph text")
+        .to_string();
+
+    let second = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.4,"seed":22}"#,
+    );
+    assert_eq!(second.status, 202, "{:?}", second.body);
+    wait_for_job(addr, field_u64(&second.body, "job_id"));
+
+    let budget = get(addr, "/budget/toy");
+    assert_eq!(budget.status, 200);
+    assert!((field_f64(&budget.body, "total") - 1.0).abs() < 1e-12);
+    assert!((field_f64(&budget.body, "spent") - 0.8).abs() < 1e-12);
+    assert!((field_f64(&budget.body, "remaining") - 0.2).abs() < 1e-12);
+
+    // A third request over the remaining budget is refused with 402 without
+    // creating a job.
+    let refused = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.4,"seed":33}"#,
+    );
+    assert_eq!(refused.status, 402, "{:?}", refused.body);
+    assert_eq!(
+        json::get(&refused.body, "error").and_then(json::as_str),
+        Some("budget_exhausted")
+    );
+    // The refused request did not move the ledger.
+    assert!((field_f64(&get(addr, "/budget/toy").body, "spent") - 0.8).abs() < 1e-12);
+
+    // A repeat of the first request is a cache hit: allowed despite only 0.2
+    // remaining, spends nothing (post-processing invariance), and reproduces
+    // the exact same synthetic graph.
+    let repeat = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.4,"seed":11,"return_graph":true}"#,
+    );
+    assert_eq!(repeat.status, 202, "{:?}", repeat.body);
+    assert!(field_bool(&repeat.body, "cache_hit"));
+    assert_eq!(field_f64(&repeat.body, "epsilon_spent"), 0.0);
+    let repeat_job = wait_for_job(addr, field_u64(&repeat.body, "job_id"));
+    let repeat_graph = json::get(&repeat_job, "result")
+        .and_then(|r| json::get(r, "graph"))
+        .and_then(json::as_str)
+        .expect("graph text");
+    assert_eq!(repeat_graph, first_graph);
+    assert!((field_f64(&get(addr, "/budget/toy").body, "spent") - 0.8).abs() < 1e-12);
+
+    // Restart the server on the same ledger journal.
+    server.stop();
+    let server = boot(&ledger_path);
+    let addr = server.local_addr();
+
+    // The registry is in-memory, so the dataset is re-registered — but the
+    // replayed ledger still knows 0.8 of the 1.0 is gone.
+    let recreated = post(addr, "/datasets", &register_body);
+    assert_eq!(recreated.status, 201, "{:?}", recreated.body);
+    let budget = get(addr, "/budget/toy");
+    assert!((field_f64(&budget.body, "spent") - 0.8).abs() < 1e-12);
+
+    // Still refused: restarts must not refill budgets.
+    let refused = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.4,"seed":44}"#,
+    );
+    assert_eq!(refused.status, 402, "{:?}", refused.body);
+
+    // But the remaining 0.2 is still spendable.
+    let small = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.2,"seed":55}"#,
+    );
+    assert_eq!(small.status, 202, "{:?}", small.body);
+    wait_for_job(addr, field_u64(&small.body, "job_id"));
+    assert!(field_f64(&get(addr, "/budget/toy").body, "remaining") < 1e-9);
+
+    server.stop();
+    std::fs::remove_file(&ledger_path).ok();
+}
+
+#[test]
+fn malformed_requests_are_rejected_cleanly() {
+    let server = agmdp::service::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ledger_path: None,
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    assert_eq!(get(addr, "/no-such-route").status, 404);
+    assert_eq!(post(addr, "/synthesize", "{not json").status, 400);
+    assert_eq!(
+        post(addr, "/synthesize", r#"{"dataset":"ghost","epsilon":1.0}"#).status,
+        404
+    );
+    assert_eq!(get(addr, "/budget/ghost").status, 404);
+
+    // A raw non-HTTP blob gets a 400, not a hang or a crash.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"\x00\x01\x02 garbage\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 4"), "{raw:?}");
+
+    server.stop();
+}

@@ -112,6 +112,12 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_json_value(&self) -> Value {
         (**self).to_json_value()
