@@ -24,8 +24,9 @@ use serde::{Deserialize, Serialize};
 use agmdp_graph::{AttributeSchema, AttributedGraph};
 use agmdp_models::acceptance::AcceptanceContext;
 use agmdp_models::chung_lu::ChungLuModel;
+use agmdp_models::parallel::map_node_chunks;
 use agmdp_models::tricycle::TriCycLeModel;
-use agmdp_models::StructuralModel;
+use agmdp_models::{ExecPolicy, StructuralModel};
 use agmdp_privacy::budget::BudgetSplit;
 
 use crate::acceptance::acceptance_probabilities;
@@ -71,6 +72,10 @@ pub enum Privacy {
     },
 }
 
+/// Upper bound on [`AgmConfig::threads`]; a defensive cap, far above any
+/// sensible host.
+pub const MAX_SYNTHESIS_THREADS: usize = 256;
+
 /// Configuration of an AGM / AGM-DP synthesis run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgmConfig {
@@ -85,6 +90,16 @@ pub struct AgmConfig {
     pub refinement_iterations: usize,
     /// Whether to run the orphan-node post-processing of Algorithm 2.
     pub orphan_postprocessing: bool,
+    /// Worker threads for the *sampling* phase (attribute vectors and edge
+    /// proposals run through the chunked engine of `agmdp_models::parallel`).
+    ///
+    /// Parameter learning always stays serial: the DP mechanisms consume one
+    /// sequential noise stream against the sensitive data, and the guarantee
+    /// is indifferent to how fast the ε-free post-processing runs afterwards.
+    /// The thread count never changes the output — the synthetic graph is
+    /// bit-identical for `threads = 1` and `threads = N` at a fixed seed.
+    /// Must lie in `1..=MAX_SYNTHESIS_THREADS`.
+    pub threads: usize,
 }
 
 impl Default for AgmConfig {
@@ -95,6 +110,7 @@ impl Default for AgmConfig {
             correlation_method: CorrelationMethod::default(),
             refinement_iterations: 3,
             orphan_postprocessing: true,
+            threads: 1,
         }
     }
 }
@@ -152,6 +168,7 @@ pub fn learn_parameters<R: Rng + ?Sized>(
             "refinement_iterations must be at least 1".to_string(),
         ));
     }
+    validate_threads(config)?;
     let (theta_x, theta_f, theta_m) = match config.privacy {
         Privacy::NonPrivate => {
             let theta_m = match config.model {
@@ -187,14 +204,33 @@ pub fn learn_parameters<R: Rng + ?Sized>(
     })
 }
 
+/// Rejects thread counts outside `1..=MAX_SYNTHESIS_THREADS`.
+fn validate_threads(config: &AgmConfig) -> Result<()> {
+    if config.threads == 0 || config.threads > MAX_SYNTHESIS_THREADS {
+        return Err(CoreError::InvalidConfig(format!(
+            "threads must lie in 1..={MAX_SYNTHESIS_THREADS}, got {}",
+            config.threads
+        )));
+    }
+    Ok(())
+}
+
 /// Samples a synthetic attributed graph from learned parameters (lines 6–19 of
 /// Algorithm 3). This step never reads the input graph, so it is pure
 /// post-processing with respect to the privacy guarantee.
+///
+/// Sampling runs on the deterministic parallel engine
+/// (`agmdp_models::parallel`) with `config.threads` workers: attribute
+/// vectors and edge proposals are generated in fixed chunks, each driven by
+/// a ChaCha stream derived from a master seed drawn once from `rng`, so the
+/// output depends only on the RNG state — never on the thread count.
 pub fn synthesize_from_parameters<R: Rng>(
     params: &LearnedParameters,
     config: &AgmConfig,
     rng: &mut R,
 ) -> Result<AttributedGraph> {
+    validate_threads(config)?;
+    let policy = ExecPolicy::new(config.threads);
     let model: Box<dyn StructuralModel> = match config.model {
         StructuralModelKind::Fcl => Box::new(
             ChungLuModel::new(params.theta_m.degree_sequence.clone())?
@@ -209,16 +245,30 @@ pub fn synthesize_from_parameters<R: Rng>(
         ),
     };
 
-    // Sample fresh attribute vectors X̃ from Θ̃_X.
-    let codes = params.theta_x.sample_codes(params.num_nodes, rng);
+    // The attribute master is drawn unconditionally so both branches below
+    // leave `rng` in the same state (the chunk streams never touch it).
+    let attribute_master = rng.next_u64();
 
-    // Unattributed graphs skip the accept/reject machinery entirely.
+    // Unattributed graphs skip attribute sampling and the accept/reject
+    // machinery entirely.
     if params.schema.width() == 0 {
-        return Ok(model.generate(rng)?);
+        return Ok(model.generate_par(&policy, rng)?);
     }
 
+    // Sample fresh attribute vectors X̃ from Θ̃_X, one node chunk per stream.
+    let codes = map_node_chunks(
+        params.num_nodes,
+        &policy,
+        attribute_master,
+        |range, chunk_rng| {
+            range
+                .map(|_| params.theta_x.sample_code(chunk_rng))
+                .collect()
+        },
+    );
+
     // Temporary edge set E', independent of the attributes.
-    let temp = model.generate(rng)?;
+    let temp = model.generate_par(&policy, rng)?;
     let mut current = attach_attributes(&temp, params.schema, &codes)?;
 
     let mut previous_acceptance: Option<Vec<f64>> = None;
@@ -227,7 +277,7 @@ pub fn synthesize_from_parameters<R: Rng>(
         let acceptance =
             acceptance_probabilities(&params.theta_f, &observed, previous_acceptance.as_deref());
         let ctx = AcceptanceContext::new(codes.clone(), params.schema, acceptance.clone())?;
-        current = model.generate_with_acceptance(&ctx, rng)?;
+        current = model.generate_with_acceptance_par(&ctx, &policy, rng)?;
         previous_acceptance = Some(acceptance);
     }
     Ok(current)
@@ -235,6 +285,28 @@ pub fn synthesize_from_parameters<R: Rng>(
 
 /// The complete AGM / AGM-DP pipeline: learn parameters, then synthesize one
 /// graph. Satisfies ε-DP when `config.privacy` is [`Privacy::Dp`] (Theorem 2).
+///
+/// ```
+/// use agmdp_core::workflow::{synthesize, AgmConfig, Privacy, StructuralModelKind};
+/// use agmdp_datasets::toy_social_graph;
+/// use rand::SeedableRng;
+///
+/// let input = toy_social_graph();
+/// let config = AgmConfig {
+///     privacy: Privacy::Dp { epsilon: 1.0 },
+///     model: StructuralModelKind::TriCycLe,
+///     threads: 2, // sampling-phase workers; never changes the output
+///     ..AgmConfig::default()
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let synthetic = synthesize(&input, &config, &mut rng).unwrap();
+/// assert_eq!(synthetic.num_nodes(), input.num_nodes());
+///
+/// // Same seed, serial sampling: bit-identical release.
+/// let serial = AgmConfig { threads: 1, ..config };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// assert_eq!(synthesize(&input, &serial, &mut rng).unwrap(), synthetic);
+/// ```
 pub fn synthesize<R: Rng>(
     graph: &AttributedGraph,
     config: &AgmConfig,
@@ -405,6 +477,44 @@ mod tests {
         let b = synthesize(&input, &config, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a.edge_vec(), b.edge_vec());
         assert_eq!(a.attribute_codes(), b.attribute_codes());
+    }
+
+    #[test]
+    fn synthesis_output_is_independent_of_thread_count() {
+        let input = toy_social_graph();
+        for model in [StructuralModelKind::Fcl, StructuralModelKind::TriCycLe] {
+            let synth = |threads: usize| {
+                let config = AgmConfig {
+                    model,
+                    threads,
+                    ..AgmConfig::default()
+                };
+                synthesize(&input, &config, &mut StdRng::seed_from_u64(31)).unwrap()
+            };
+            let serial = synth(1);
+            for threads in [2, 4, 8] {
+                let parallel = synth(threads);
+                assert_eq!(parallel.edge_vec(), serial.edge_vec(), "{model:?}");
+                assert_eq!(
+                    parallel.attribute_codes(),
+                    serial.attribute_codes(),
+                    "{model:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_thread_counts_are_rejected() {
+        let input = toy_social_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        for threads in [0, MAX_SYNTHESIS_THREADS + 1] {
+            let config = AgmConfig {
+                threads,
+                ..AgmConfig::default()
+            };
+            assert!(synthesize(&input, &config, &mut rng).is_err(), "{threads}");
+        }
     }
 
     #[test]

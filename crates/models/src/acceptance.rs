@@ -15,6 +15,7 @@ use rand::RngCore;
 use agmdp_graph::{AttributeSchema, AttributedGraph, NodeId};
 
 use crate::error::ModelError;
+use crate::parallel::ExecPolicy;
 use crate::Result;
 
 /// Acceptance-probability context for attribute-aware edge generation.
@@ -79,6 +80,18 @@ impl AcceptanceContext {
         rng.gen::<f64>() <= self.probability(u, v)
     }
 
+    /// Validates that the context carries exactly `num_nodes` attribute
+    /// codes (every model checks this before generating with the context).
+    pub fn check_node_count(&self, num_nodes: usize) -> Result<()> {
+        if self.attribute_codes.len() != num_nodes {
+            return Err(ModelError::AcceptanceMismatch(format!(
+                "model has {num_nodes} nodes but context has {} attribute codes",
+                self.attribute_codes.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Copies the attribute codes onto a generated graph.
     pub fn apply_attributes(&self, graph: &mut AttributedGraph) -> Result<()> {
         graph
@@ -106,6 +119,31 @@ pub trait StructuralModel {
         ctx: &AcceptanceContext,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph>;
+
+    /// [`StructuralModel::generate`] under an execution policy: the chunked,
+    /// deterministically parallel sampling path of [`crate::parallel`].
+    ///
+    /// Implementations must guarantee that `policy.threads()` never changes
+    /// the output — only how chunks are scheduled. The default implementation
+    /// trivially satisfies that contract by ignoring the policy and running
+    /// the serial sampler.
+    fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
+        let _ = policy;
+        self.generate(rng)
+    }
+
+    /// [`StructuralModel::generate_with_acceptance`] under an execution
+    /// policy, with the same thread-count-invariance contract as
+    /// [`StructuralModel::generate_par`].
+    fn generate_with_acceptance_par(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        let _ = policy;
+        self.generate_with_acceptance(ctx, rng)
+    }
 }
 
 #[cfg(test)]

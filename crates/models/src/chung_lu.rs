@@ -20,6 +20,7 @@ use agmdp_graph::{AttributeSchema, AttributedGraph};
 
 use crate::acceptance::{AcceptanceContext, StructuralModel};
 use crate::error::ModelError;
+use crate::parallel::{chunk_rng, run_chunks, ExecPolicy};
 use crate::pi::PiSampler;
 use crate::postprocess::wire_orphans;
 use crate::Result;
@@ -28,6 +29,11 @@ use crate::Result;
 /// `MAX_ATTEMPT_FACTOR * target_edges + 1000` proposals, which keeps
 /// generation total even when acceptance probabilities are very small.
 const MAX_ATTEMPT_FACTOR: usize = 200;
+
+/// Oversampling factor of the chunked sampler: each round proposes twice the
+/// missing edge count, so duplicate- and acceptance-rejections rarely force a
+/// second round on sparse graphs.
+const ROUND_OVERSAMPLE: usize = 2;
 
 /// Samples `target_edges` CL edges over `n` nodes into a fresh graph.
 ///
@@ -65,7 +71,107 @@ pub(crate) fn sample_cl_edges(
     (graph, order)
 }
 
+/// The chunked, deterministically parallel form of [`sample_cl_edges`].
+///
+/// Proposals are generated round by round: every round proposes
+/// `ROUND_OVERSAMPLE ×` the missing edge count, split into fixed-size chunks.
+/// Each chunk draws from its own [`chunk_rng`] stream and filters proposals
+/// against the *pre-round* graph snapshot (self-loops, existing edges,
+/// acceptance coin); the surviving candidates are then merged serially in
+/// chunk order, skipping intra-round duplicates, until the target is reached.
+///
+/// The chunk layout and merge order depend only on the target and the master
+/// seed drawn from `rng`, so the output is **bit-identical for every thread
+/// count** — including `threads = 1`, which runs the same chunk sequence
+/// inline. (The stream differs from the serial [`sample_cl_edges`], which
+/// redraws rejected proposals from a single sequential RNG.)
+pub(crate) fn sample_cl_edges_chunked(
+    n: usize,
+    pi: &PiSampler,
+    target_edges: usize,
+    schema: AttributeSchema,
+    acceptance: Option<&AcceptanceContext>,
+    policy: &ExecPolicy,
+    rng: &mut dyn RngCore,
+) -> (AttributedGraph, Vec<Edge>) {
+    let master = rng.next_u64();
+    let mut graph = AttributedGraph::new(n, schema);
+    let mut order = Vec::with_capacity(target_edges);
+    let max_attempts = MAX_ATTEMPT_FACTOR
+        .saturating_mul(target_edges)
+        .saturating_add(1_000);
+    let mut attempts = 0usize;
+    let mut next_chunk = 0u64;
+    while order.len() < target_edges && attempts < max_attempts {
+        let missing = target_edges - order.len();
+        let proposals = missing
+            .saturating_mul(ROUND_OVERSAMPLE)
+            .min(max_attempts - attempts)
+            .max(1);
+        let chunk_size = policy.chunk_size();
+        let num_chunks = proposals.div_ceil(chunk_size);
+        let snapshot = &graph;
+        let round_base = next_chunk;
+        let batches = run_chunks(policy.threads(), num_chunks, |chunk| {
+            let mut chunk_rng = chunk_rng(master, round_base + chunk as u64);
+            let count = if chunk + 1 == num_chunks {
+                proposals - chunk * chunk_size
+            } else {
+                chunk_size
+            };
+            let mut survivors = Vec::new();
+            for _ in 0..count {
+                let u = pi.sample(&mut chunk_rng);
+                let v = pi.sample(&mut chunk_rng);
+                if u == v || snapshot.has_edge(u, v) {
+                    continue;
+                }
+                if let Some(ctx) = acceptance {
+                    if !ctx.accepts(u, v, &mut chunk_rng) {
+                        continue;
+                    }
+                }
+                survivors.push(Edge::new(u, v));
+            }
+            survivors
+        });
+        next_chunk += num_chunks as u64;
+        attempts += proposals;
+        'merge: for batch in batches {
+            for e in batch {
+                if order.len() >= target_edges {
+                    break 'merge;
+                }
+                // Intra-round duplicates were invisible to the snapshot
+                // filter; the serial merge catches them here.
+                if graph.try_add_edge(e.u, e.v).expect("endpoints in range") {
+                    order.push(e);
+                }
+            }
+        }
+    }
+    (graph, order)
+}
+
 /// The Chung-Lu / FCL structural model.
+///
+/// ```
+/// use agmdp_models::{ChungLuModel, ExecPolicy, StructuralModel};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let model = ChungLuModel::new(vec![3; 40]).unwrap();
+/// // The chunked engine's contract: the thread count never changes the
+/// // output, only how chunks are scheduled.
+/// let serial = model
+///     .generate_par(&ExecPolicy::new(1), &mut StdRng::seed_from_u64(7))
+///     .unwrap();
+/// let parallel = model
+///     .generate_par(&ExecPolicy::new(4), &mut StdRng::seed_from_u64(7))
+///     .unwrap();
+/// assert_eq!(serial.edge_vec(), parallel.edge_vec());
+/// assert_eq!(serial.num_edges(), model.target_edges());
+/// ```
 #[derive(Debug, Clone)]
 pub struct ChungLuModel {
     degrees: Vec<usize>,
@@ -116,18 +222,30 @@ impl ChungLuModel {
     fn generate_inner(
         &self,
         acceptance: Option<&AcceptanceContext>,
+        policy: Option<&ExecPolicy>,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
         let pi = PiSampler::from_degrees(&self.degrees)?;
-        let (mut graph, _order) = sample_cl_edges(
-            self.degrees.len(),
-            &pi,
-            self.target_edges,
-            schema,
-            acceptance,
-            rng,
-        );
+        let (mut graph, _order) = match policy {
+            Some(policy) => sample_cl_edges_chunked(
+                self.degrees.len(),
+                &pi,
+                self.target_edges,
+                schema,
+                acceptance,
+                policy,
+                rng,
+            ),
+            None => sample_cl_edges(
+                self.degrees.len(),
+                &pi,
+                self.target_edges,
+                schema,
+                acceptance,
+                rng,
+            ),
+        };
         if let Some(ctx) = acceptance {
             ctx.apply_attributes(&mut graph)?;
         }
@@ -144,7 +262,7 @@ impl StructuralModel for ChungLuModel {
     }
 
     fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, rng)
+        self.generate_inner(None, None, rng)
     }
 
     fn generate_with_acceptance(
@@ -152,14 +270,22 @@ impl StructuralModel for ChungLuModel {
         ctx: &AcceptanceContext,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
-        if ctx.attribute_codes.len() != self.degrees.len() {
-            return Err(ModelError::AcceptanceMismatch(format!(
-                "model has {} nodes but context has {} attribute codes",
-                self.degrees.len(),
-                ctx.attribute_codes.len()
-            )));
-        }
-        self.generate_inner(Some(ctx), rng)
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), None, rng)
+    }
+
+    fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
+        self.generate_inner(None, Some(policy), rng)
+    }
+
+    fn generate_with_acceptance_par(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), Some(policy), rng)
     }
 }
 
@@ -290,5 +416,74 @@ mod tests {
         let g1 = model.generate(&mut StdRng::seed_from_u64(9)).unwrap();
         let g2 = model.generate(&mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+
+    #[test]
+    fn chunked_sampler_is_thread_count_invariant() {
+        // Small chunks force many chunks per round, so work stealing really
+        // interleaves; the merged output must not care.
+        let model = ChungLuModel::new(power_lawish_degrees(400)).unwrap();
+        let generate = |threads: usize| {
+            let policy = ExecPolicy::new(threads).with_chunk_size(64);
+            model
+                .generate_par(&policy, &mut StdRng::seed_from_u64(11))
+                .unwrap()
+        };
+        let serial = generate(1);
+        assert_eq!(serial.num_edges(), model.target_edges());
+        serial.check_consistency().unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = generate(threads);
+            assert_eq!(parallel.edge_vec(), serial.edge_vec());
+            assert_eq!(parallel.attribute_codes(), serial.attribute_codes());
+        }
+    }
+
+    #[test]
+    fn chunked_sampler_respects_acceptance_across_threads() {
+        let schema = AttributeSchema::new(1);
+        let n = 200;
+        let codes: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 2 == 1)).collect();
+        let ctx = AcceptanceContext::new(codes, schema, vec![0.0, 1.0, 1.0]).unwrap();
+        let model = ChungLuModel::new(vec![4usize; n]).unwrap();
+        let generate = |threads: usize| {
+            let policy = ExecPolicy::new(threads).with_chunk_size(128);
+            model
+                .generate_with_acceptance_par(&ctx, &policy, &mut StdRng::seed_from_u64(12))
+                .unwrap()
+        };
+        let serial = generate(1);
+        for e in serial.edges() {
+            assert_ne!(serial.edge_config(e.u, e.v), 0);
+        }
+        assert_eq!(generate(8).edge_vec(), serial.edge_vec());
+        // Mismatched contexts are rejected on the parallel path too.
+        let bad = AcceptanceContext::new(vec![0, 1], schema, vec![1.0; 3]).unwrap();
+        assert!(model
+            .generate_with_acceptance_par(
+                &bad,
+                &ExecPolicy::serial(),
+                &mut StdRng::seed_from_u64(1)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn chunked_sampler_terminates_on_impossible_targets() {
+        // Acceptance probability 0 everywhere: no proposal ever survives, so
+        // the sampler must stop at its attempt cap instead of spinning.
+        let schema = AttributeSchema::new(1);
+        let n = 40;
+        let codes: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 2 == 1)).collect();
+        let ctx = AcceptanceContext::new(codes, schema, vec![0.0, 0.0, 0.0]).unwrap();
+        let model = ChungLuModel::new(vec![3usize; n]).unwrap();
+        let g = model
+            .generate_with_acceptance_par(
+                &ctx,
+                &ExecPolicy::new(2).with_chunk_size(32),
+                &mut StdRng::seed_from_u64(13),
+            )
+            .unwrap();
+        assert_eq!(g.num_edges(), 0);
     }
 }

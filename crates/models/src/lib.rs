@@ -20,6 +20,9 @@
 //! * [`acceptance`] — the [`acceptance::StructuralModel`] trait and the
 //!   acceptance-probability context through which AGM-DP plugs the learned
 //!   attribute correlations into any structural model.
+//! * [`parallel`] — the deterministic parallel synthesis engine: a chunked
+//!   work-stealing executor plus the per-chunk RNG derivation that makes
+//!   multi-threaded sampling bit-identical to single-threaded sampling.
 //!
 //! All generation takes a caller-provided RNG so experiments are reproducible.
 
@@ -30,6 +33,7 @@ pub mod acceptance;
 pub mod baselines;
 pub mod chung_lu;
 pub mod error;
+pub mod parallel;
 pub mod pi;
 pub mod postprocess;
 pub mod tcl;
@@ -38,6 +42,7 @@ pub mod tricycle;
 pub use acceptance::{AcceptanceContext, StructuralModel};
 pub use chung_lu::ChungLuModel;
 pub use error::ModelError;
+pub use parallel::ExecPolicy;
 pub use pi::PiSampler;
 pub use tcl::TclModel;
 pub use tricycle::TriCycLeModel;

@@ -2,7 +2,7 @@
 //!
 //! In the CL model an edge endpoint is drawn with probability proportional to
 //! its desired degree, `π(i) = d_i / 2m`. The Fast Chung-Lu implementation
-//! ([28] in the paper) materialises a pool containing each node id repeated
+//! (\[28\] in the paper) materialises a pool containing each node id repeated
 //! `d_i` times, so a sample is a single uniform draw from the pool.
 //!
 //! The orphan-node extension of Section 3.3 excludes degree-one nodes from π
@@ -17,6 +17,17 @@ use crate::error::ModelError;
 use crate::Result;
 
 /// Constant-time sampler for the degree-proportional distribution π.
+///
+/// ```
+/// use agmdp_models::PiSampler;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let pi = PiSampler::from_degrees(&[2, 0, 3]).unwrap();
+/// assert_eq!(pi.pool_size(), 5); // node 0 twice, node 2 three times
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert_ne!(pi.sample(&mut rng), 1); // degree-0 nodes are never drawn
+/// ```
 #[derive(Debug, Clone)]
 pub struct PiSampler {
     pool: Vec<NodeId>,

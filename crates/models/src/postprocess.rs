@@ -30,7 +30,7 @@ const MAX_PARTNER_DRAWS: usize = 60;
 /// * `pi` — the degree-proportional sampler used to propose partners.
 ///
 /// The total edge count is kept at `round(Σ desired / 2)` as in the paper.
-/// After [`MAX_ROUNDS`] the remaining components are bridged directly so the
+/// After `MAX_ROUNDS` (50) rounds the remaining components are bridged directly so the
 /// output is always connected.
 pub fn wire_orphans<R: Rng + ?Sized>(
     graph: &mut AttributedGraph,

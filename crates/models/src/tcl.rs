@@ -25,8 +25,9 @@ use agmdp_graph::graph::Edge;
 use agmdp_graph::{AttributeSchema, AttributedGraph};
 
 use crate::acceptance::{AcceptanceContext, StructuralModel};
-use crate::chung_lu::{sample_cl_edges, sample_uniform};
+use crate::chung_lu::{sample_cl_edges, sample_cl_edges_chunked, sample_uniform};
 use crate::error::ModelError;
+use crate::parallel::ExecPolicy;
 use crate::pi::PiSampler;
 use crate::Result;
 
@@ -87,9 +88,16 @@ impl TclModel {
         (self.degrees.iter().sum::<usize>() as f64 / 2.0).round() as usize
     }
 
+    /// Generation body. The Chung-Lu seed phase — the `O(m)` bulk of the
+    /// work — runs through the chunked parallel sampler when a `policy` is
+    /// given; the edge-replacement refinement that follows is inherently
+    /// sequential (every replacement reads the evolving graph) and always
+    /// runs on the caller's RNG, so its stream is identical for every thread
+    /// count.
     fn generate_inner(
         &self,
         acceptance: Option<&AcceptanceContext>,
+        policy: Option<&ExecPolicy>,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         let n = self.degrees.len();
@@ -97,7 +105,10 @@ impl TclModel {
         let m = self.target_edges().max(1);
         let pi = PiSampler::from_degrees(&self.degrees)?;
 
-        let (mut graph, order) = sample_cl_edges(n, &pi, m, schema, acceptance, rng);
+        let (mut graph, order) = match policy {
+            Some(policy) => sample_cl_edges_chunked(n, &pi, m, schema, acceptance, policy, rng),
+            None => sample_cl_edges(n, &pi, m, schema, acceptance, rng),
+        };
         if let Some(ctx) = acceptance {
             ctx.apply_attributes(&mut graph)?;
         }
@@ -155,7 +166,7 @@ impl StructuralModel for TclModel {
     }
 
     fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, rng)
+        self.generate_inner(None, None, rng)
     }
 
     fn generate_with_acceptance(
@@ -163,14 +174,22 @@ impl StructuralModel for TclModel {
         ctx: &AcceptanceContext,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
-        if ctx.attribute_codes.len() != self.degrees.len() {
-            return Err(ModelError::AcceptanceMismatch(format!(
-                "model has {} nodes but context has {} attribute codes",
-                self.degrees.len(),
-                ctx.attribute_codes.len()
-            )));
-        }
-        self.generate_inner(Some(ctx), rng)
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), None, rng)
+    }
+
+    fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
+        self.generate_inner(None, Some(policy), rng)
+    }
+
+    fn generate_with_acceptance_par(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), Some(policy), rng)
     }
 }
 

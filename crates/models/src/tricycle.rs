@@ -30,8 +30,9 @@ use agmdp_graph::triangles::count_triangles;
 use agmdp_graph::{AttributeSchema, AttributedGraph};
 
 use crate::acceptance::{AcceptanceContext, StructuralModel};
-use crate::chung_lu::{sample_cl_edges, sample_uniform};
+use crate::chung_lu::{sample_cl_edges, sample_cl_edges_chunked, sample_uniform};
 use crate::error::ModelError;
+use crate::parallel::ExecPolicy;
 use crate::pi::PiSampler;
 use crate::postprocess::wire_orphans;
 use crate::Result;
@@ -97,9 +98,16 @@ impl TriCycLeModel {
         (self.degrees.iter().sum::<usize>() as f64 / 2.0).round() as usize
     }
 
+    /// Generation body. Phase 1 (the Chung-Lu seed graph, the `O(m)` bulk)
+    /// runs through the chunked parallel sampler when a `policy` is given;
+    /// phase 2 (triangle-targeted rewiring) is inherently sequential — each
+    /// accepted replacement changes the neighbor lists the next proposal
+    /// samples from — and always draws from the caller's RNG, so its stream
+    /// is identical for every thread count.
     fn generate_inner(
         &self,
         acceptance: Option<&AcceptanceContext>,
+        policy: Option<&ExecPolicy>,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         let n = self.degrees.len();
@@ -123,7 +131,12 @@ impl TriCycLeModel {
         };
 
         // Phase 1: Chung-Lu seed graph (with acceptance filtering when given).
-        let (mut graph, order) = sample_cl_edges(n, &pi, seed_edges, schema, acceptance, rng);
+        let (mut graph, order) = match policy {
+            Some(policy) => {
+                sample_cl_edges_chunked(n, &pi, seed_edges, schema, acceptance, policy, rng)
+            }
+            None => sample_cl_edges(n, &pi, seed_edges, schema, acceptance, rng),
+        };
         if let Some(ctx) = acceptance {
             ctx.apply_attributes(&mut graph)?;
         }
@@ -203,7 +216,7 @@ impl StructuralModel for TriCycLeModel {
     }
 
     fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, rng)
+        self.generate_inner(None, None, rng)
     }
 
     fn generate_with_acceptance(
@@ -211,14 +224,22 @@ impl StructuralModel for TriCycLeModel {
         ctx: &AcceptanceContext,
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
-        if ctx.attribute_codes.len() != self.degrees.len() {
-            return Err(ModelError::AcceptanceMismatch(format!(
-                "model has {} nodes but context has {} attribute codes",
-                self.degrees.len(),
-                ctx.attribute_codes.len()
-            )));
-        }
-        self.generate_inner(Some(ctx), rng)
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), None, rng)
+    }
+
+    fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
+        self.generate_inner(None, Some(policy), rng)
+    }
+
+    fn generate_with_acceptance_par(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<AttributedGraph> {
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), Some(policy), rng)
     }
 }
 

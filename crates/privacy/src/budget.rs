@@ -66,6 +66,17 @@ impl PrivacyBudget {
     /// thousands of tiny ε's cannot drift past `total` (or under-count it);
     /// a tiny tolerance additionally absorbs the rounding of splitting ε into
     /// fractions that do not sum exactly to the total.
+    ///
+    /// ```
+    /// use agmdp_privacy::PrivacyBudget;
+    ///
+    /// let mut budget = PrivacyBudget::new(1.0).unwrap();
+    /// budget.spend(0.25).unwrap();
+    /// budget.spend(0.5).unwrap();
+    /// assert!((budget.remaining() - 0.25).abs() < 1e-12);
+    /// // Over-spending is an error, not a silent privacy violation.
+    /// assert!(budget.spend(0.5).is_err());
+    /// ```
     pub fn spend(&mut self, epsilon: f64) -> Result<()> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(PrivacyError::InvalidEpsilon(epsilon));

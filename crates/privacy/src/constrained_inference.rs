@@ -1,5 +1,5 @@
 //! Constrained inference for noisy sorted degree sequences
-//! (Hay, Li, Miklau & Jensen, ICDM 2009 — reference [11] of the paper).
+//! (Hay, Li, Miklau & Jensen, ICDM 2009 — reference \[11\] of the paper).
 //!
 //! The DP degree-sequence estimator of Appendix C.3.1 works in three steps:
 //! sort the true degree sequence in non-decreasing order, add independent

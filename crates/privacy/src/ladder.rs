@@ -1,6 +1,6 @@
 //! The Ladder framework for differentially private triangle counting
 //! (Zhang, Cormode, Procopiuc, Srivastava & Xiao, SIGMOD 2015 — reference
-//! [37] of the paper; used in Appendix C.3.2).
+//! \[37\] of the paper; used in Appendix C.3.2).
 //!
 //! The Ladder framework combines *local sensitivity at distance t* with the
 //! exponential mechanism. For triangle counting under edge adjacency:

@@ -20,6 +20,19 @@ use crate::Result;
 /// Uses the inverse CDF: for `u ~ Uniform(-0.5, 0.5)`,
 /// `x = -b * sign(u) * ln(1 - 2|u|)`.
 ///
+/// ```
+/// use agmdp_privacy::sample_laplace;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let noise = sample_laplace(&mut rng, 2.0);
+/// assert!(noise.is_finite());
+/// // Same seed, same draw: every mechanism is reproducible.
+/// let mut again = StdRng::seed_from_u64(7);
+/// assert_eq!(noise, sample_laplace(&mut again, 2.0));
+/// ```
+///
 /// # Panics
 ///
 /// Debug-asserts that `b` is positive and finite.

@@ -46,6 +46,10 @@ const IN_FLIGHT_MAX_WAIT: Duration = Duration::from_secs(60);
 /// Granularity of the in-flight wait (also bounds wake-up latency).
 const IN_FLIGHT_WAIT_SLICE: Duration = Duration::from_millis(50);
 
+/// Cap on per-request sampling threads — tighter than the workflow's own
+/// limit because a multi-tenant server multiplies it by concurrent jobs.
+pub const MAX_REQUEST_THREADS: usize = 64;
+
 /// Keys whose fit is currently being computed by some admitted request.
 ///
 /// Single-flight guard: without it, two concurrent identical cold requests
@@ -101,6 +105,15 @@ pub struct SynthesisRequest {
     pub refinement_iterations: usize,
     /// Whether the response should include the synthetic graph text.
     pub return_graph: bool,
+    /// Worker threads for the sampling phase of this request (the chunked
+    /// parallel engine of `agmdp_models::parallel`).
+    ///
+    /// Deliberately **not** part of the fit-cache key: fitting stays serial
+    /// (the DP mechanisms consume one sequential noise stream), and the
+    /// sampled output is bit-identical for every thread count, so requests
+    /// differing only in `threads` share one cached parameter set and one ε
+    /// spend — and still reproduce the same graph.
+    pub threads: usize,
 }
 
 impl SynthesisRequest {
@@ -116,6 +129,7 @@ impl SynthesisRequest {
             seed,
             refinement_iterations: 3,
             return_graph: false,
+            threads: 1,
         }
     }
 
@@ -140,6 +154,7 @@ impl SynthesisRequest {
             correlation_method: self.method,
             refinement_iterations: self.refinement_iterations,
             orphan_postprocessing: true,
+            threads: self.threads,
         }
     }
 }
@@ -311,6 +326,11 @@ impl SynthesisEngine {
             return Err(ServiceError::InvalidRequest(
                 "iterations must be in 1..=64".to_string(),
             ));
+        }
+        if request.threads == 0 || request.threads > MAX_REQUEST_THREADS {
+            return Err(ServiceError::InvalidRequest(format!(
+                "threads must be in 1..={MAX_REQUEST_THREADS}"
+            )));
         }
         // The dataset must exist even on the cache-hit path.
         self.registry.get(&request.dataset)?;
@@ -535,6 +555,31 @@ mod tests {
         for outcome in &outcomes[1..] {
             assert_eq!(outcome.stats, outcomes[0].stats);
         }
+    }
+
+    #[test]
+    fn threads_do_not_affect_cache_key_output_or_budget() {
+        let engine = engine_with_toy(1.0);
+        let mut serial = SynthesisRequest::new("toy", 0.5, 5);
+        serial.return_graph = true;
+        let mut parallel = serial.clone();
+        parallel.threads = 8;
+
+        let cold = engine.synthesize(&serial).unwrap();
+        // Same request at 8 threads: rides the cached fit (no extra ε) and
+        // reproduces the serial graph byte for byte.
+        let hot = engine.synthesize(&parallel).unwrap();
+        assert!(hot.cache_hit, "threads must not fragment the fit cache");
+        assert_eq!(hot.epsilon_spent, 0.0);
+        assert_eq!(cold.graph_text, hot.graph_text);
+        assert!((engine.ledger().status("toy").unwrap().spent - 0.5).abs() < 1e-12);
+
+        // Out-of-range thread counts are refused at admission.
+        let mut bad = SynthesisRequest::new("toy", 0.1, 6);
+        bad.threads = 0;
+        assert!(engine.admit(&bad).is_err());
+        bad.threads = MAX_REQUEST_THREADS + 1;
+        assert!(engine.admit(&bad).is_err());
     }
 
     #[test]

@@ -581,6 +581,7 @@ fn parse_synthesize_body(body: &[u8]) -> Result<SynthesisRequest, Response> {
             "seed",
             "iterations",
             "return_graph",
+            "threads",
         ],
     )?;
     let dataset = json::get(&parsed, "dataset")
@@ -646,6 +647,16 @@ fn parse_synthesize_body(body: &[u8]) -> Result<SynthesisRequest, Response> {
             error_body(400, "invalid_request", "'return_graph' must be a boolean")
         })?,
     };
+    let threads = match json::get(&parsed, "threads") {
+        None => 1,
+        Some(v) => json::as_u64(v).ok_or_else(|| {
+            error_body(
+                400,
+                "invalid_request",
+                "'threads' must be a positive integer",
+            )
+        })? as usize,
+    };
 
     Ok(SynthesisRequest {
         dataset: dataset.to_string(),
@@ -655,6 +666,7 @@ fn parse_synthesize_body(body: &[u8]) -> Result<SynthesisRequest, Response> {
         seed,
         refinement_iterations: iterations,
         return_graph,
+        threads,
     })
 }
 
@@ -820,6 +832,37 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(state.active_jobs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn synthesize_accepts_and_validates_threads() {
+        let state = test_state();
+        let accepted = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1,"threads":4}"#,
+        );
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let parsed = json::parse(&accepted.body).unwrap();
+        let id = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        assert!(matches!(wait_for_job(&state, id), JobState::Completed(_)));
+
+        // threads = 0 and a non-integer are refused before any ε is drawn.
+        let spent_before = state.engine.ledger().status("toy").unwrap().spent;
+        let zero = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":2,"threads":0}"#,
+        );
+        assert_eq!(zero.status, 400, "{}", zero.body);
+        let not_int = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":2,"threads":"all"}"#,
+        );
+        assert_eq!(not_int.status, 400, "{}", not_int.body);
+        let spent_after = state.engine.ledger().status("toy").unwrap().spent;
+        assert_eq!(spent_before, spent_after);
     }
 
     #[test]

@@ -42,6 +42,7 @@ USAGE:
     agmdp synthesize --input <graph> --output <graph> --epsilon <e>
                      [--model fcl|tricycle] [--method truncation|smooth|sample-aggregate|naive]
                      [--k <truncation-k>] [--iterations <n>] [--seed <s>] [--non-private]
+                     [--threads <n>]
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
@@ -50,7 +51,13 @@ USAGE:
 The graph file format is the line-oriented text format documented in
 `agmdp::graph::io` (nodes/attr/edge records). `serve` exposes the JSON
 endpoints GET /healthz, GET /datasets, POST /datasets, POST /synthesize,
-GET /jobs/:id and GET /budget/:dataset.";
+GET /jobs/:id and GET /budget/:dataset.
+
+`synthesize --threads <n>` runs the sampling phase on n worker threads; the
+output graph is bit-identical to --threads 1 at the same seed (parameter
+learning always stays single-threaded). `serve --threads <n>` sizes the HTTP
+worker pool; per-request sampling threads are the `threads` field of the
+POST /synthesize body.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,6 +134,7 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
             "--k",
             "--iterations",
             "--seed",
+            "--threads",
         ],
         &["--non-private"],
     )?;
@@ -144,6 +152,7 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     let correlation_method = correlation_method(&flags)?;
     let refinement_iterations = flags.get_parsed_or("--iterations", "a positive integer", 3)?;
     let seed: u64 = flags.get_parsed_or("--seed", "an integer", 2016)?;
+    let threads: usize = flags.get_parsed_or("--threads", "a positive integer", 1)?;
 
     let graph = io::read_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
     let config = AgmConfig {
@@ -152,6 +161,7 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
         correlation_method,
         refinement_iterations,
         orphan_postprocessing: true,
+        threads,
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let synthetic =

@@ -118,18 +118,26 @@ fn both_structural_models_work_with_every_correlation_method() {
 
 #[test]
 fn tricycle_preserves_clustering_far_better_than_fcl_under_dp() {
+    // Clustering of a single DP draw is noisy, so compare means over a few
+    // trials (one draw per model occasionally flips the ordering by chance).
     let input = small_input();
     let mut rng = Rng::seed_from_u64(4);
     let epsilon = 1.0;
+    let trials = 3;
     let clustering_error = |model: StructuralModelKind, rng: &mut Rng| {
         let config = AgmConfig {
             privacy: Privacy::Dp { epsilon },
             model,
             ..AgmConfig::default()
         };
-        let synth = synthesize(&input, &config, rng).expect("synthesis");
         let truth = average_local_clustering(&input);
-        (average_local_clustering(&synth) - truth).abs() / truth
+        (0..trials)
+            .map(|_| {
+                let synth = synthesize(&input, &config, rng).expect("synthesis");
+                (average_local_clustering(&synth) - truth).abs() / truth
+            })
+            .sum::<f64>()
+            / trials as f64
     };
     let fcl_err = clustering_error(StructuralModelKind::Fcl, &mut rng);
     let tri_err = clustering_error(StructuralModelKind::TriCycLe, &mut rng);
