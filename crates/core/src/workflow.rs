@@ -47,8 +47,8 @@ pub enum StructuralModelKind {
 }
 
 impl StructuralModelKind {
-    /// Parses the user-facing model token shared by the CLI (`--model`) and
-    /// the service API (`"model"`).
+    /// Parses the user-facing model token shared by the CLI (`--model`), the
+    /// service API (`"model"`) and evaluation plans (`model <name>`).
     pub fn parse(name: &str) -> std::result::Result<Self, String> {
         match name {
             "fcl" => Ok(StructuralModelKind::Fcl),
@@ -57,6 +57,23 @@ impl StructuralModelKind {
                 "unknown model '{other}' (expected fcl or tricycle)"
             )),
         }
+    }
+
+    /// The canonical user-facing token, the inverse of
+    /// [`StructuralModelKind::parse`] (used by table rendering and artifact
+    /// rows in the evaluation harness).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructuralModelKind::Fcl => "fcl",
+            StructuralModelKind::TriCycLe => "tricycle",
+        }
+    }
+}
+
+impl std::fmt::Display for StructuralModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -366,6 +383,15 @@ mod tests {
             ..AgmConfig::default()
         };
         assert!(non_private.budget_split().is_err());
+    }
+
+    #[test]
+    fn model_kind_name_roundtrips_through_parse() {
+        for kind in [StructuralModelKind::Fcl, StructuralModelKind::TriCycLe] {
+            assert_eq!(StructuralModelKind::parse(kind.name()).unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!(StructuralModelKind::parse("bogus").is_err());
     }
 
     #[test]

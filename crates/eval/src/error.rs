@@ -1,0 +1,27 @@
+//! Error type of the evaluation harness.
+
+/// Errors produced while parsing or running an experiment plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The plan text is malformed or inconsistent (message names the line).
+    InvalidPlan(String),
+    /// A dataset could not be materialised.
+    Dataset(String),
+    /// A synthesis trial failed.
+    Synthesis(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EvalError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            EvalError::Synthesis(msg) => write!(f, "synthesis error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias for the harness.
+pub type Result<T> = std::result::Result<T, EvalError>;

@@ -1,0 +1,48 @@
+//! # agmdp-eval
+//!
+//! The declarative, deterministic experiment harness that reproduces the
+//! paper's evaluation: utility of AGM-DP synthetic graphs measured across an
+//! ε grid, several structural models and repeated trials, reported as
+//! per-trial rows plus mean/stddev aggregates (JSON, CSV and markdown).
+//!
+//! * [`plan::EvalPlan`] — a plan names datasets, the ε grid (`inf` = the
+//!   non-private baseline), models, repetition count and metric columns; the
+//!   committed default plan (`plans/default.plan`) is the source of the
+//!   results book in `docs/EVALUATION.md`.
+//! * [`runner`] — `EvalPlan::run` fans trials out over the chunked executor
+//!   of `agmdp_models::parallel` with per-trial ChaCha streams derived via
+//!   `derive_chunk_seed(master, trial)`, so a whole grid is bit-identical at
+//!   any thread count.
+//! * [`report::UtilityReport`] — every metric column: degree KS (CDF and
+//!   CCDF), Hellinger, degree assortativity, attribute–edge (Θ_F Hellinger),
+//!   attribute–attribute and attribute–degree correlation distances, and the
+//!   triangle/clustering/edge-count relative errors.
+//! * [`output`] — deterministic JSON/CSV/markdown artifact rendering; the
+//!   `eval-smoke` CI job diffs `aggregates.json` against a checked-in golden
+//!   file with no tolerance.
+//!
+//! ```
+//! use agmdp_eval::EvalPlan;
+//!
+//! let plan = EvalPlan::parse(
+//!     "plan quick\ndataset toy\nepsilon 1\nmodel tricycle\nrepetitions 1\n",
+//! ).unwrap();
+//! let report = plan.run().unwrap();
+//! assert_eq!(report.aggregates.len(), 1);
+//! assert!(report.aggregates[0].mean.ks_degree <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod output;
+pub mod plan;
+pub mod report;
+pub mod runner;
+
+pub use error::EvalError;
+pub use output::AggregatesArtifact;
+pub use plan::{DatasetRef, EpsilonSpec, EvalPlan};
+pub use report::{GraphProfile, UtilityReport};
+pub use runner::{AggregateRow, EvalReport, TrialRow};

@@ -1,0 +1,358 @@
+//! The per-trial utility report and its aggregation arithmetic.
+//!
+//! [`UtilityReport`] bundles every metric column of the harness for one
+//! (original, synthetic) pair: the structural columns the paper's tables
+//! report (degree KS/Hellinger, triangle/clustering/edge-count relative
+//! errors), the attribute–edge correlation distance (Hellinger on Θ_F), and
+//! the joint-structure measures added for the reproduction's results book
+//! (degree-CCDF KS, degree assortativity, attribute–attribute and
+//! attribute–degree correlation distances).
+//!
+//! The report is deliberately a flat list of `f64` columns with a parallel
+//! name table ([`UtilityReport::METRIC_NAMES`]) so mean/stddev aggregation,
+//! CSV headers and markdown tables all derive from one source of truth.
+
+use serde::{Deserialize, Serialize};
+
+use agmdp_core::ThetaF;
+use agmdp_graph::clustering::{average_local_clustering, global_clustering};
+use agmdp_graph::degree::DegreeSequence;
+use agmdp_graph::triangles::count_triangles;
+use agmdp_graph::AttributedGraph;
+use agmdp_metrics::assortativity::degree_assortativity;
+use agmdp_metrics::correlation::{
+    attribute_attribute_correlations, attribute_degree_correlations, correlation_distance,
+};
+use agmdp_metrics::distance::{hellinger_distance, ks_ccdf, ks_statistic, relative_error};
+
+/// The original-side half of every metric column, computed once per input
+/// graph and reused across trials (the harness compares many synthetic
+/// samples against one original, and the service scores every release of a
+/// dataset against the same registered graph — recomputing the original's
+/// triangles, clustering and correlations per comparison would dominate the
+/// scoring cost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProfile {
+    degree_distribution: Vec<f64>,
+    degree_ccdf: Vec<f64>,
+    assortativity: f64,
+    theta_f: Vec<f64>,
+    attr_attr: Vec<f64>,
+    attr_degree: Vec<f64>,
+    triangles: f64,
+    avg_clustering: f64,
+    global_clustering: f64,
+    edges: f64,
+}
+
+impl GraphProfile {
+    /// Precomputes every original-side statistic of `graph`.
+    #[must_use]
+    pub fn of(graph: &AttributedGraph) -> Self {
+        let distribution = DegreeSequence::from_graph(graph).distribution();
+        Self {
+            degree_ccdf: ccdf_of(&distribution),
+            degree_distribution: distribution,
+            assortativity: degree_assortativity(graph),
+            theta_f: ThetaF::from_graph(graph).probabilities().to_vec(),
+            attr_attr: attribute_attribute_correlations(graph),
+            attr_degree: attribute_degree_correlations(graph),
+            triangles: count_triangles(graph) as f64,
+            avg_clustering: average_local_clustering(graph),
+            global_clustering: global_clustering(graph),
+            edges: graph.num_edges() as f64,
+        }
+    }
+}
+
+/// The CCDF over integer degrees implied by a degree histogram — the same
+/// accumulation `DegreeSequence::ccdf` performs, factored out so a profile
+/// can derive it from an already-built distribution.
+fn ccdf_of(distribution: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    distribution
+        .iter()
+        .map(|&p| {
+            acc += p;
+            1.0 - acc
+        })
+        .collect()
+}
+
+/// All utility metrics of one synthetic graph relative to its original.
+///
+/// Every field is a *discrepancy* (distance or error): 0 means the synthetic
+/// graph matches the original perfectly on that measure, larger is worse.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UtilityReport {
+    /// KS statistic between degree distributions (`KS_S`).
+    pub ks_degree: f64,
+    /// KS statistic between degree CCDF curves (the paper's Figure 2 axis);
+    /// numerically equal to `ks_degree`, reported in CCDF terms.
+    pub ks_degree_ccdf: f64,
+    /// Hellinger distance between degree distributions (`H_S`).
+    pub hellinger_degree: f64,
+    /// Absolute difference of degree assortativity coefficients.
+    pub assortativity_dist: f64,
+    /// Hellinger distance between attribute–edge correlation distributions
+    /// (`Θ_F` of the original vs the synthetic graph).
+    pub attr_edge_hellinger: f64,
+    /// Mean absolute difference of pairwise attribute–attribute (φ)
+    /// correlations.
+    pub attr_attr_corr_dist: f64,
+    /// Mean absolute difference of attribute–degree correlations.
+    pub attr_degree_corr_dist: f64,
+    /// Relative error of the triangle count (`n_Δ`).
+    pub triangle_count_re: f64,
+    /// Relative error of the average local clustering coefficient (`C̄`).
+    pub avg_clustering_re: f64,
+    /// Relative error of the global clustering coefficient (`C`).
+    pub global_clustering_re: f64,
+    /// Relative error of the edge count (`m`).
+    pub edge_count_re: f64,
+}
+
+/// Number of metric columns in a [`UtilityReport`].
+pub const NUM_METRICS: usize = 11;
+
+impl UtilityReport {
+    /// Column names, in the order [`UtilityReport::values`] returns them.
+    /// These are the tokens a plan's `metrics` line selects from.
+    pub const METRIC_NAMES: [&'static str; NUM_METRICS] = [
+        "ks_degree",
+        "ks_degree_ccdf",
+        "hellinger_degree",
+        "assortativity_dist",
+        "attr_edge_hellinger",
+        "attr_attr_corr_dist",
+        "attr_degree_corr_dist",
+        "triangle_count_re",
+        "avg_clustering_re",
+        "global_clustering_re",
+        "edge_count_re",
+    ];
+
+    /// Compares `synthetic` against `original` on every metric column.
+    ///
+    /// One-shot convenience over [`UtilityReport::against`]; when the same
+    /// original is compared against many synthetic samples, build its
+    /// [`GraphProfile`] once and call `against` directly.
+    #[must_use]
+    pub fn compare(original: &AttributedGraph, synthetic: &AttributedGraph) -> Self {
+        Self::against(&GraphProfile::of(original), synthetic)
+    }
+
+    /// Scores `synthetic` against a precomputed original-side [`GraphProfile`].
+    #[must_use]
+    pub fn against(profile: &GraphProfile, synthetic: &AttributedGraph) -> Self {
+        let dist_synth = DegreeSequence::from_graph(synthetic).distribution();
+        let ccdf_synth = ccdf_of(&dist_synth);
+        let theta_f_synth = ThetaF::from_graph(synthetic);
+        Self {
+            ks_degree: ks_statistic(&profile.degree_distribution, &dist_synth),
+            ks_degree_ccdf: ks_ccdf(&profile.degree_ccdf, &ccdf_synth),
+            hellinger_degree: hellinger_distance(&profile.degree_distribution, &dist_synth),
+            assortativity_dist: (profile.assortativity - degree_assortativity(synthetic)).abs(),
+            attr_edge_hellinger: hellinger_distance(
+                &profile.theta_f,
+                theta_f_synth.probabilities(),
+            ),
+            attr_attr_corr_dist: correlation_distance(
+                &profile.attr_attr,
+                &attribute_attribute_correlations(synthetic),
+            ),
+            attr_degree_corr_dist: correlation_distance(
+                &profile.attr_degree,
+                &attribute_degree_correlations(synthetic),
+            ),
+            triangle_count_re: relative_error(profile.triangles, count_triangles(synthetic) as f64),
+            avg_clustering_re: relative_error(
+                profile.avg_clustering,
+                average_local_clustering(synthetic),
+            ),
+            global_clustering_re: relative_error(
+                profile.global_clustering,
+                global_clustering(synthetic),
+            ),
+            edge_count_re: relative_error(profile.edges, synthetic.num_edges() as f64),
+        }
+    }
+
+    /// The metric values in [`UtilityReport::METRIC_NAMES`] order.
+    #[must_use]
+    pub fn values(&self) -> [f64; NUM_METRICS] {
+        [
+            self.ks_degree,
+            self.ks_degree_ccdf,
+            self.hellinger_degree,
+            self.assortativity_dist,
+            self.attr_edge_hellinger,
+            self.attr_attr_corr_dist,
+            self.attr_degree_corr_dist,
+            self.triangle_count_re,
+            self.avg_clustering_re,
+            self.global_clustering_re,
+            self.edge_count_re,
+        ]
+    }
+
+    /// Rebuilds a report from a value array in
+    /// [`UtilityReport::METRIC_NAMES`] order.
+    #[must_use]
+    pub fn from_values(values: [f64; NUM_METRICS]) -> Self {
+        Self {
+            ks_degree: values[0],
+            ks_degree_ccdf: values[1],
+            hellinger_degree: values[2],
+            assortativity_dist: values[3],
+            attr_edge_hellinger: values[4],
+            attr_attr_corr_dist: values[5],
+            attr_degree_corr_dist: values[6],
+            triangle_count_re: values[7],
+            avg_clustering_re: values[8],
+            global_clustering_re: values[9],
+            edge_count_re: values[10],
+        }
+    }
+
+    /// Element-wise mean over `reports` (all-zero for an empty slice).
+    #[must_use]
+    pub fn mean(reports: &[UtilityReport]) -> Self {
+        if reports.is_empty() {
+            return Self::default();
+        }
+        let mut acc = [0.0; NUM_METRICS];
+        for r in reports {
+            for (a, v) in acc.iter_mut().zip(r.values()) {
+                *a += v;
+            }
+        }
+        let n = reports.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Self::from_values(acc)
+    }
+
+    /// Element-wise *sample* standard deviation (denominator `n − 1`) over
+    /// `reports`; all-zero for fewer than two reports.
+    #[must_use]
+    pub fn stddev(reports: &[UtilityReport]) -> Self {
+        if reports.len() < 2 {
+            return Self::default();
+        }
+        let mean = Self::mean(reports).values();
+        let mut acc = [0.0; NUM_METRICS];
+        for r in reports {
+            for ((a, v), m) in acc.iter_mut().zip(r.values()).zip(mean) {
+                let d = v - m;
+                *a += d * d;
+            }
+        }
+        let denom = (reports.len() - 1) as f64;
+        for a in &mut acc {
+            *a = (*a / denom).sqrt();
+        }
+        Self::from_values(acc)
+    }
+
+    /// Resolves a metric name to its column index.
+    #[must_use]
+    pub fn metric_index(name: &str) -> Option<usize> {
+        Self::METRIC_NAMES.iter().position(|&n| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_graph::AttributeSchema;
+
+    fn ring(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(n, AttributeSchema::new(2));
+        let codes: Vec<u32> = (0..n as u32).map(|v| v % 4).collect();
+        g.set_all_attribute_codes(&codes).unwrap();
+        for v in 0..n {
+            g.add_edge(v as u32, ((v + 1) % n) as u32).unwrap();
+        }
+        g
+    }
+
+    fn star(leaves: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(leaves + 1, AttributeSchema::new(2));
+        let codes: Vec<u32> = (0..=leaves as u32).map(|v| v % 4).collect();
+        g.set_all_attribute_codes(&codes).unwrap();
+        for leaf in 1..=leaves {
+            g.add_edge(0, leaf as u32).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_score_zero_everywhere() {
+        let g = ring(8);
+        let r = UtilityReport::compare(&g, &g);
+        for (name, v) in UtilityReport::METRIC_NAMES.iter().zip(r.values()) {
+            assert!(v.abs() < 1e-12, "{name} = {v} on identical graphs");
+        }
+    }
+
+    #[test]
+    fn different_graphs_score_positive_on_structural_columns() {
+        let r = UtilityReport::compare(&ring(8), &star(7));
+        assert!(r.ks_degree > 0.0);
+        assert!(r.ks_degree_ccdf > 0.0);
+        assert!(r.hellinger_degree > 0.0);
+        // Ring assortativity 0 (regular), star −1 -> distance 1.
+        assert!((r.assortativity_dist - 1.0).abs() < 1e-12);
+        assert!(r.edge_count_re > 0.0);
+    }
+
+    #[test]
+    fn ks_ccdf_column_equals_cdf_ks_column() {
+        // CCDF(d) = 1 − CDF(d) on a shared support: the two KS columns agree.
+        let r = UtilityReport::compare(&ring(10), &star(9));
+        assert!((r.ks_degree - r.ks_degree_ccdf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_roundtrip_and_names_align() {
+        let r = UtilityReport::compare(&ring(6), &star(5));
+        assert_eq!(UtilityReport::from_values(r.values()), r);
+        assert_eq!(UtilityReport::METRIC_NAMES.len(), NUM_METRICS);
+        assert_eq!(UtilityReport::metric_index("ks_degree"), Some(0));
+        assert_eq!(UtilityReport::metric_index("edge_count_re"), Some(10));
+        assert_eq!(UtilityReport::metric_index("bogus"), None);
+    }
+
+    #[test]
+    fn against_profile_equals_direct_compare() {
+        let original = ring(9);
+        let synthetic = star(8);
+        let profile = GraphProfile::of(&original);
+        assert_eq!(
+            UtilityReport::against(&profile, &synthetic),
+            UtilityReport::compare(&original, &synthetic)
+        );
+    }
+
+    #[test]
+    fn mean_and_stddev_hand_computed() {
+        let a = UtilityReport {
+            ks_degree: 0.2,
+            ..Default::default()
+        };
+        let b = UtilityReport {
+            ks_degree: 0.4,
+            ..Default::default()
+        };
+        let mean = UtilityReport::mean(&[a, b]);
+        assert!((mean.ks_degree - 0.3).abs() < 1e-12);
+        // Sample stddev of {0.2, 0.4}: sqrt(((0.1)² + (0.1)²) / 1) ≈ 0.1414.
+        let sd = UtilityReport::stddev(&[a, b]);
+        assert!((sd.ks_degree - (0.02f64).sqrt()).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(UtilityReport::mean(&[]), UtilityReport::default());
+        assert_eq!(UtilityReport::stddev(&[a]), UtilityReport::default());
+    }
+}

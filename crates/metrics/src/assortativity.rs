@@ -1,0 +1,152 @@
+//! Degree assortativity (Newman's degree–degree Pearson coefficient).
+//!
+//! The paper's evaluation compares how well a synthetic graph preserves the
+//! *joint* degree structure of the original, beyond the marginal degree
+//! distribution that KS/Hellinger capture: social graphs are typically
+//! assortative (high-degree nodes link to high-degree nodes), and a generator
+//! that matches the degree histogram can still scramble that mixing pattern.
+//!
+//! [`degree_assortativity`] computes the Pearson correlation coefficient of
+//! the degrees at the two endpoints of a uniformly random edge, the standard
+//! summary introduced by Newman ("Assortative mixing in networks", 2002):
+//!
+//! ```text
+//!         M⁻¹ Σ_e j_e k_e − [M⁻¹ Σ_e ½(j_e + k_e)]²
+//! r = ─────────────────────────────────────────────────
+//!      M⁻¹ Σ_e ½(j_e² + k_e²) − [M⁻¹ Σ_e ½(j_e + k_e)]²
+//! ```
+//!
+//! where the sums run over the `M` edges and `j_e`, `k_e` are the endpoint
+//! degrees of edge `e`. The result lies in `[-1, 1]`.
+
+use agmdp_graph::AttributedGraph;
+
+/// Degree assortativity coefficient `r` of a graph.
+///
+/// Returns `0.0` for degenerate inputs where the coefficient is undefined:
+/// graphs with no edges, and graphs whose edge-endpoint degrees have zero
+/// variance (e.g. regular graphs, where every endpoint has the same degree
+/// and no mixing preference is expressible).
+///
+/// ```
+/// use agmdp_metrics::assortativity::degree_assortativity;
+/// use agmdp_graph::AttributedGraph;
+///
+/// // A star is maximally disassortative: every edge joins the hub
+/// // (degree 3) to a leaf (degree 1).
+/// let mut star = AttributedGraph::unattributed(4);
+/// for leaf in 1..4 {
+///     star.add_edge(0, leaf).unwrap();
+/// }
+/// assert!((degree_assortativity(&star) - (-1.0)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn degree_assortativity(graph: &AttributedGraph) -> f64 {
+    let m = graph.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    let degrees = graph.degrees();
+    let mut sum_prod = 0.0; // Σ j·k
+    let mut sum_half = 0.0; // Σ ½(j + k)
+    let mut sum_half_sq = 0.0; // Σ ½(j² + k²)
+    for e in graph.edges() {
+        let j = degrees[e.u as usize] as f64;
+        let k = degrees[e.v as usize] as f64;
+        sum_prod += j * k;
+        sum_half += 0.5 * (j + k);
+        sum_half_sq += 0.5 * (j * j + k * k);
+    }
+    let m = m as f64;
+    let mean = sum_half / m;
+    let numerator = sum_prod / m - mean * mean;
+    let denominator = sum_half_sq / m - mean * mean;
+    if denominator.abs() < 1e-12 {
+        return 0.0;
+    }
+    numerator / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(leaves: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::unattributed(leaves + 1);
+        for leaf in 1..=leaves {
+            g.add_edge(0, leaf as u32).unwrap();
+        }
+        g
+    }
+
+    fn path(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::unattributed(n);
+        for v in 1..n {
+            g.add_edge((v - 1) as u32, v as u32).unwrap();
+        }
+        g
+    }
+
+    fn ring(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::unattributed(n);
+        for v in 0..n {
+            g.add_edge(v as u32, ((v + 1) % n) as u32).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        // Every edge joins degree k (hub) to degree 1 (leaf) -> r = -1.
+        for leaves in [2usize, 3, 5, 10] {
+            let r = degree_assortativity(&star(leaves));
+            assert!((r - (-1.0)).abs() < 1e-12, "star({leaves}) gave {r}");
+        }
+    }
+
+    #[test]
+    fn path4_matches_hand_computation() {
+        // P4 edges with endpoint degrees: (1,2), (2,2), (2,1).
+        //   E[jk]      = (2 + 4 + 2) / 3  = 8/3
+        //   E[½(j+k)]  = (1.5 + 2 + 1.5) / 3 = 5/3
+        //   E[½(j²+k²)] = (2.5 + 4 + 2.5) / 3 = 3
+        //   r = (8/3 − 25/9) / (3 − 25/9) = (−1/9) / (2/9) = −0.5
+        let r = degree_assortativity(&path(4));
+        assert!((r - (-0.5)).abs() < 1e-12, "P4 gave {r}");
+    }
+
+    #[test]
+    fn degree_homogeneous_components_are_perfectly_assortative() {
+        // Disjoint K3 ∪ K2: K3 edges join (2,2), the K2 edge joins (1,1).
+        //   E[jk]       = (4·3 + 1) / 4   = 13/4
+        //   E[½(j+k)]   = (2·3 + 1) / 4   = 7/4
+        //   E[½(j²+k²)] = (4·3 + 1) / 4   = 13/4
+        //   r = (13/4 − 49/16) / (13/4 − 49/16) = 1
+        let mut g = AttributedGraph::unattributed(5);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(3, 4).unwrap();
+        let r = degree_assortativity(&g);
+        assert!((r - 1.0).abs() < 1e-12, "K3 ∪ K2 gave {r}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        // No edges.
+        assert_eq!(degree_assortativity(&AttributedGraph::unattributed(3)), 0.0);
+        // Regular graph: all endpoint degrees equal, zero variance.
+        assert_eq!(degree_assortativity(&ring(6)), 0.0);
+    }
+
+    #[test]
+    fn result_is_bounded() {
+        // A small irregular graph: bound check only.
+        let mut g = AttributedGraph::unattributed(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5), (3, 4)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r), "r = {r} out of bounds");
+    }
+}

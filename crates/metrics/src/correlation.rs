@@ -1,0 +1,242 @@
+//! Attribute–attribute and attribute–degree correlations.
+//!
+//! The AGM preserves attribute–*edge* correlations by construction (Θ_F);
+//! the evaluation additionally asks how well the *node-level* attribute
+//! structure survives synthesis:
+//!
+//! * [`attribute_attribute_correlations`] — the Pearson (φ) coefficient of
+//!   every unordered pair of binary attributes across nodes. AGM samples
+//!   whole attribute *configurations* from Θ_X, so these pairwise
+//!   correlations should be preserved up to the noise injected into Θ_X.
+//! * [`attribute_degree_correlations`] — the Pearson coefficient of each
+//!   binary attribute against node degree. AGM assigns attribute vectors
+//!   independently of the degree sequence, so the synthetic value of this
+//!   correlation is driven by the acceptance-refinement loop (footnote 4 of
+//!   the paper) rather than modeled directly — making it an honest
+//!   stress-test column.
+//! * [`correlation_distance`] — the mean absolute difference between two
+//!   such correlation vectors (original vs synthetic).
+
+use agmdp_graph::AttributedGraph;
+
+/// Pearson correlation of two equally long samples; `0.0` when either sample
+/// has zero variance (the coefficient is undefined, and "no signal" is the
+/// honest table entry) or when the samples are empty.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x < 1e-12 || var_y < 1e-12 {
+        return 0.0;
+    }
+    cov / (var_x * var_y).sqrt()
+}
+
+/// One binary attribute column (`0.0`/`1.0` per node).
+fn attribute_column(graph: &AttributedGraph, j: usize) -> Vec<f64> {
+    graph
+        .nodes()
+        .map(|v| {
+            let code = graph.attribute_code(v);
+            f64::from((code >> j) & 1)
+        })
+        .collect()
+}
+
+/// Pearson (φ) correlation of every unordered attribute pair `(i, j)`, `i < j`,
+/// in lexicographic order: `(0,1), (0,2), …, (1,2), …`.
+///
+/// For a schema of width `w` the result has `w·(w−1)/2` entries; widths 0 and
+/// 1 yield an empty vector (there are no pairs to correlate).
+///
+/// ```
+/// use agmdp_metrics::correlation::attribute_attribute_correlations;
+/// use agmdp_graph::{AttributeSchema, AttributedGraph};
+///
+/// // Both attribute bits always agree -> φ = 1.
+/// let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+/// g.set_all_attribute_codes(&[0b11, 0b11, 0b00, 0b00]).unwrap();
+/// let corr = attribute_attribute_correlations(&g);
+/// assert_eq!(corr.len(), 1);
+/// assert!((corr[0] - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn attribute_attribute_correlations(graph: &AttributedGraph) -> Vec<f64> {
+    let w = graph.schema().width();
+    let columns: Vec<Vec<f64>> = (0..w).map(|j| attribute_column(graph, j)).collect();
+    let mut out = Vec::with_capacity(w.saturating_sub(1) * w / 2);
+    for i in 0..w {
+        for j in (i + 1)..w {
+            out.push(pearson(&columns[i], &columns[j]));
+        }
+    }
+    out
+}
+
+/// Pearson correlation of each binary attribute against node degree, one
+/// entry per attribute `j` in `0..w`.
+///
+/// ```
+/// use agmdp_metrics::correlation::attribute_degree_correlations;
+/// use agmdp_graph::{AttributeSchema, AttributedGraph};
+///
+/// // On a path, the inner (degree-2) nodes carry the attribute and the
+/// // endpoints do not -> perfect attribute–degree correlation.
+/// let mut g = AttributedGraph::new(4, AttributeSchema::new(1));
+/// g.set_all_attribute_codes(&[0, 1, 1, 0]).unwrap();
+/// for v in 1..4 {
+///     g.add_edge(v - 1, v).unwrap();
+/// }
+/// let corr = attribute_degree_correlations(&g);
+/// assert!((corr[0] - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn attribute_degree_correlations(graph: &AttributedGraph) -> Vec<f64> {
+    let w = graph.schema().width();
+    let degrees: Vec<f64> = graph.degrees().into_iter().map(|d| d as f64).collect();
+    (0..w)
+        .map(|j| pearson(&attribute_column(graph, j), &degrees))
+        .collect()
+}
+
+/// Mean absolute difference between two correlation vectors (original vs
+/// synthetic). Both graphs of a comparison share a schema, so the vectors
+/// normally have equal length; a shorter vector is zero-padded defensively.
+/// Two empty vectors (width < 2 for attribute pairs, width 0 for degrees)
+/// give distance `0.0`.
+///
+/// ```
+/// use agmdp_metrics::correlation::correlation_distance;
+///
+/// let truth = [0.8, -0.2];
+/// let synth = [0.6, 0.0];
+/// assert!((correlation_distance(&truth, &synth) - 0.2).abs() < 1e-12);
+/// assert_eq!(correlation_distance(&[], &[]), 0.0);
+/// ```
+#[must_use]
+pub fn correlation_distance(truth: &[f64], measured: &[f64]) -> f64 {
+    crate::distance::mean_absolute_error(truth, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agmdp_graph::AttributeSchema;
+
+    #[test]
+    fn identical_bits_give_phi_one() {
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+        g.set_all_attribute_codes(&[0b11, 0b11, 0b00, 0b00])
+            .unwrap();
+        let corr = attribute_attribute_correlations(&g);
+        assert_eq!(corr.len(), 1);
+        assert!((corr[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_bits_give_phi_minus_one() {
+        // Bit 0 set exactly when bit 1 is clear.
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+        g.set_all_attribute_codes(&[0b01, 0b01, 0b10, 0b10])
+            .unwrap();
+        let corr = attribute_attribute_correlations(&g);
+        assert!((corr[0] - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_bits_give_phi_zero() {
+        // All four configurations equally often: the bits are independent.
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+        g.set_all_attribute_codes(&[0b00, 0b01, 0b10, 0b11])
+            .unwrap();
+        let corr = attribute_attribute_correlations(&g);
+        assert!(corr[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_matches_hand_computed_mixed_case() {
+        // Bits x = [1, 1, 1, 0], y = [1, 0, 0, 0] over 4 nodes.
+        //   mean_x = 3/4, mean_y = 1/4
+        //   cov  = Σ(x−x̄)(y−ȳ) = (1/4·3/4) + (1/4·−1/4)·2 + (−3/4·−1/4)
+        //        = 3/16 − 2/16 + 3/16 = 4/16
+        //   var_x = 3·(1/16) + 9/16 = 12/16, var_y likewise 12/16
+        //   φ = (4/16) / (12/16) = 1/3
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(2));
+        g.set_all_attribute_codes(&[0b11, 0b01, 0b01, 0b00])
+            .unwrap();
+        let corr = attribute_attribute_correlations(&g);
+        assert!((corr[0] - 1.0 / 3.0).abs() < 1e-12, "φ = {}", corr[0]);
+    }
+
+    #[test]
+    fn pair_ordering_is_lexicographic() {
+        // Width 3: pairs (0,1), (0,2), (1,2). Make (0,1) perfectly correlated
+        // and bit 2 constant (φ = 0 against anything).
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(3));
+        g.set_all_attribute_codes(&[0b011, 0b011, 0b000, 0b000])
+            .unwrap();
+        let corr = attribute_attribute_correlations(&g);
+        assert_eq!(corr.len(), 3);
+        assert!((corr[0] - 1.0).abs() < 1e-12); // (0,1)
+        assert_eq!(corr[1], 0.0); // (0,2): bit 2 constant
+        assert_eq!(corr[2], 0.0); // (1,2)
+    }
+
+    #[test]
+    fn attribute_degree_matches_hand_computed_path() {
+        // P4 degrees [1, 2, 2, 1]; attribute [0, 1, 1, 0].
+        //   cov = 4·(0.5·0.5)/… -> exact Pearson 1 (attribute = degree − 1 scaled).
+        let mut g = AttributedGraph::new(4, AttributeSchema::new(1));
+        g.set_all_attribute_codes(&[0, 1, 1, 0]).unwrap();
+        for v in 1..4u32 {
+            g.add_edge(v - 1, v).unwrap();
+        }
+        let corr = attribute_degree_correlations(&g);
+        assert_eq!(corr.len(), 1);
+        assert!((corr[0] - 1.0).abs() < 1e-12);
+
+        // Flipping the attribute flips the sign.
+        g.set_all_attribute_codes(&[1, 0, 0, 1]).unwrap();
+        let corr = attribute_degree_correlations(&g);
+        assert!((corr[0] - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero() {
+        // Constant attribute: zero variance.
+        let mut g = AttributedGraph::new(3, AttributeSchema::new(1));
+        g.set_all_attribute_codes(&[1, 1, 1]).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(attribute_degree_correlations(&g), vec![0.0]);
+        // Width 0 and width 1 have no attribute pairs.
+        assert!(attribute_attribute_correlations(&AttributedGraph::unattributed(3)).is_empty());
+        assert!(attribute_attribute_correlations(&g).is_empty());
+        // Regular graph: degree variance zero.
+        let mut ring = AttributedGraph::new(3, AttributeSchema::new(1));
+        ring.set_all_attribute_codes(&[0, 1, 0]).unwrap();
+        for v in 0..3u32 {
+            ring.add_edge(v, (v + 1) % 3).unwrap();
+        }
+        assert_eq!(attribute_degree_correlations(&ring), vec![0.0]);
+    }
+
+    #[test]
+    fn correlation_distance_handles_padding() {
+        assert!((correlation_distance(&[0.5, -0.5], &[0.5]) - 0.25).abs() < 1e-12);
+        assert_eq!(correlation_distance(&[], &[]), 0.0);
+    }
+}

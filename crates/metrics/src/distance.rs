@@ -97,6 +97,38 @@ pub fn ks_statistic(p: &[f64], q: &[f64]) -> f64 {
     max_diff
 }
 
+/// Kolmogorov–Smirnov statistic between two degree CCDF curves over the
+/// integer support `0..len` (the curves [`agmdp_graph::degree::DegreeSequence::ccdf`]
+/// produces): the maximum absolute vertical distance between the step
+/// functions. A shorter curve is padded with `0.0` — beyond a distribution's
+/// maximum degree, the fraction of nodes with a strictly larger degree is
+/// zero — so curves of different maximum degree compare correctly.
+///
+/// Since `CCDF(d) = 1 − CDF(d)`, this equals the CDF-based
+/// [`ks_statistic`] of the underlying histograms; the paper's figures work
+/// on CCDF curves (log–log axes), so the harness reports the statistic in
+/// the same terms.
+///
+/// ```
+/// use agmdp_metrics::distance::ks_ccdf;
+///
+/// // CCDFs of the histograms [0.5, 0.5] and [0, 0.5, 0.5]:
+/// let p = [0.5, 0.0];
+/// let q = [1.0, 0.5, 0.0];
+/// assert!((ks_ccdf(&p, &q) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ks_ccdf(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let mut max_diff: f64 = 0.0;
+    for i in 0..len {
+        let a = p.get(i).copied().unwrap_or(0.0);
+        let b = q.get(i).copied().unwrap_or(0.0);
+        max_diff = max_diff.max((a - b).abs());
+    }
+    max_diff
+}
+
 /// Kolmogorov–Smirnov statistic between two empirical samples of arbitrary
 /// real values (e.g. sorted degree sequences): the maximum vertical distance
 /// between their empirical CDFs.
@@ -201,6 +233,35 @@ mod tests {
         let e = [2.0, 4.0, 6.0];
         let ks = ks_statistic_samples(&d, &e);
         assert!(ks > 0.0 && ks <= 1.0);
+    }
+
+    #[test]
+    fn ks_ccdf_hand_computed_and_consistent_with_cdf_ks() {
+        // Histograms [0.5, 0.5, 0] and [0, 0.5, 0.5]:
+        //   CCDF_p = (0.5, 0.0, 0.0), CCDF_q = (1.0, 0.5, 0.0) -> max diff 0.5.
+        let ccdf_p = [0.5, 0.0, 0.0];
+        let ccdf_q = [1.0, 0.5, 0.0];
+        assert!((ks_ccdf(&ccdf_p, &ccdf_q) - 0.5).abs() < 1e-12);
+        assert_eq!(ks_ccdf(&ccdf_p, &ccdf_p), 0.0);
+        assert_eq!(ks_ccdf(&[], &[]), 0.0);
+
+        // CCDF(d) = 1 − CDF(d): the statistic must agree with the
+        // histogram-based KS for any pair of distributions, including ones
+        // with different supports (shorter CCDF zero-padded).
+        let hist_p = [0.2, 0.5, 0.3];
+        let hist_q = [0.6, 0.1, 0.1, 0.2];
+        let to_ccdf = |h: &[f64]| {
+            let mut acc = 0.0;
+            h.iter()
+                .map(|&p| {
+                    acc += p;
+                    1.0 - acc
+                })
+                .collect::<Vec<_>>()
+        };
+        let ks_via_ccdf = ks_ccdf(&to_ccdf(&hist_p), &to_ccdf(&hist_q));
+        let ks_via_cdf = ks_statistic(&hist_p, &hist_q);
+        assert!((ks_via_ccdf - ks_via_cdf).abs() < 1e-12);
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //!
 //! Evaluation statistics used by the AGM-DP paper's empirical analysis
 //! (Section 5.1): the Kolmogorov–Smirnov statistic and Hellinger distance
-//! between degree distributions, Hellinger distance and mean absolute /
-//! relative error between attribute-correlation distributions, clustering
-//! comparisons, CCDF extraction for the figure reproductions, and a
-//! [`report::GraphComparison`] that bundles every structural column of
-//! Tables 2–5 for a (original, synthetic) graph pair.
+//! between degree distributions (CDF- and CCDF-based), Hellinger distance
+//! and mean absolute / relative error between attribute-correlation
+//! distributions, degree assortativity, attribute–attribute and
+//! attribute–degree correlations, clustering comparisons, CCDF extraction
+//! for the figure reproductions, and a [`report::GraphComparison`] that
+//! bundles every structural column of Tables 2–5 for a
+//! (original, synthetic) graph pair. The `agmdp-eval` experiment harness
+//! builds its utility tables from exactly these functions.
 //!
 //! ```
 //! use agmdp_metrics::distance::{hellinger_distance, mean_absolute_error};
@@ -20,12 +23,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assortativity;
 pub mod ccdf;
+pub mod correlation;
 pub mod distance;
 pub mod report;
 
+pub use assortativity::degree_assortativity;
 pub use ccdf::{ccdf_points, CcdfPoint};
+pub use correlation::{
+    attribute_attribute_correlations, attribute_degree_correlations, correlation_distance,
+};
 pub use distance::{
-    hellinger_distance, ks_statistic, mean_absolute_error, mean_relative_error, relative_error,
+    hellinger_distance, ks_ccdf, ks_statistic, mean_absolute_error, mean_relative_error,
+    relative_error,
 };
 pub use report::GraphComparison;

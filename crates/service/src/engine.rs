@@ -15,7 +15,7 @@
 //! The sampling RNG is seeded independently of the learning RNG so a cache
 //! hit reproduces byte-identical output to the cold path for the same seed.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -30,8 +30,11 @@ use agmdp_core::workflow::{
 use agmdp_graph::triangles::count_triangles;
 use agmdp_graph::{io, AttributedGraph};
 
+use agmdp_eval::{GraphProfile, UtilityReport};
+
 use crate::cache::{FitCache, FitKey};
 use crate::error::ServiceError;
+use crate::evalstore::EvalStore;
 use crate::ledger::BudgetLedger;
 use crate::registry::{DatasetRegistry, DatasetSummary};
 
@@ -199,6 +202,9 @@ pub struct SynthesisOutcome {
     pub cache_hit: bool,
     /// Structural summary of the synthetic graph.
     pub stats: GraphStats,
+    /// Utility of the release relative to the registered original (ε-free
+    /// post-processing; also folded into the engine's [`EvalStore`]).
+    pub utility: UtilityReport,
     /// The synthetic graph in the text interchange format, when requested.
     pub graph_text: Option<String>,
 }
@@ -234,6 +240,12 @@ pub struct SynthesisEngine {
     registry: DatasetRegistry,
     ledger: BudgetLedger,
     cache: FitCache,
+    evaluations: EvalStore,
+    /// Original-side metric statistics per dataset, computed lazily on the
+    /// first job and reused by every later one (the registry refuses
+    /// re-registration with different data, so a profile can never go
+    /// stale for a live name).
+    profiles: Mutex<BTreeMap<String, Arc<GraphProfile>>>,
     in_flight: Arc<InFlight>,
 }
 
@@ -245,6 +257,8 @@ impl SynthesisEngine {
             registry: DatasetRegistry::new(),
             ledger,
             cache: FitCache::new(),
+            evaluations: EvalStore::new(),
+            profiles: Mutex::new(BTreeMap::new()),
             in_flight: Arc::new(InFlight::default()),
         }
     }
@@ -265,6 +279,12 @@ impl SynthesisEngine {
     #[must_use]
     pub fn cache(&self) -> &FitCache {
         &self.cache
+    }
+
+    /// The per-dataset utility store backing `GET /evaluate`.
+    #[must_use]
+    pub fn evaluations(&self) -> &EvalStore {
+        &self.evaluations
     }
 
     /// Registers a dataset with its total ε budget (registry + ledger in one
@@ -429,6 +449,30 @@ impl SynthesisEngine {
         Ok(params)
     }
 
+    /// The cached original-side metric profile of a registered dataset,
+    /// computed on first use.
+    fn dataset_profile(&self, dataset: &str) -> Result<Arc<GraphProfile>, ServiceError> {
+        if let Some(profile) = self
+            .profiles
+            .lock()
+            .expect("profile cache lock poisoned")
+            .get(dataset)
+        {
+            return Ok(Arc::clone(profile));
+        }
+        // Compute outside the lock (profiling a large graph is the expensive
+        // part); a concurrent duplicate computation is harmless — profiles
+        // of the same graph are identical, and the first insert wins.
+        let graph = self.registry.get(dataset)?;
+        let profile = Arc::new(GraphProfile::of(&graph));
+        let mut profiles = self.profiles.lock().expect("profile cache lock poisoned");
+        Ok(Arc::clone(
+            profiles
+                .entry(dataset.to_string())
+                .or_insert_with(|| Arc::clone(&profile)),
+        ))
+    }
+
     /// Runs an admitted request: fit (cache miss only) + sample.
     pub fn run(
         &self,
@@ -441,12 +485,22 @@ impl SynthesisEngine {
         let mut sample_rng = StdRng::seed_from_u64(request.seed ^ SAMPLING_SEED_SALT);
         let synthetic = synthesize_from_parameters(&params, &config, &mut sample_rng)
             .map_err(|e| ServiceError::Synthesis(e.to_string()))?;
+        // Score the release against the original (ε-free post-processing)
+        // and fold it into the per-dataset utility aggregate that
+        // `GET /evaluate` reports. The original's half of every metric is
+        // computed once per dataset and cached, so repeat requests — in
+        // particular the ε-free fit-cache hits — only pay for the
+        // synthetic side.
+        let profile = self.dataset_profile(&request.dataset)?;
+        let utility = UtilityReport::against(&profile, &synthetic);
+        self.evaluations.record(&request.dataset, &utility);
         Ok(SynthesisOutcome {
             dataset: request.dataset.clone(),
             epsilon: request.epsilon,
             epsilon_spent: admission.epsilon_spent,
             cache_hit,
             stats: GraphStats::of(&synthetic),
+            utility,
             graph_text: request.return_graph.then(|| io::to_text(&synthetic)),
         })
     }
@@ -580,6 +634,26 @@ mod tests {
         assert!(engine.admit(&bad).is_err());
         bad.threads = MAX_REQUEST_THREADS + 1;
         assert!(engine.admit(&bad).is_err());
+    }
+
+    #[test]
+    fn every_run_records_utility_for_get_evaluate() {
+        let engine = engine_with_toy(10.0);
+        assert!(engine.evaluations().is_empty());
+        let request = SynthesisRequest::new("toy", 1.0, 1);
+        let cold = engine.synthesize(&request).unwrap();
+        assert!(cold.utility.ks_degree <= 1.0);
+        // The cached replay releases the identical graph and records too.
+        let hot = engine.synthesize(&request).unwrap();
+        assert!(hot.cache_hit);
+        assert_eq!(hot.utility, cold.utility);
+        let summaries = engine.evaluations().summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].0, "toy");
+        assert_eq!(summaries[0].1.runs, 2);
+        assert_eq!(summaries[0].1.mean, cold.utility);
+        // Identical releases have zero spread.
+        assert_eq!(summaries[0].1.stddev, UtilityReport::default());
     }
 
     #[test]

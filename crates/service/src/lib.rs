@@ -15,6 +15,11 @@
 //!   ε-spending step; re-sampling from already-released parameters is pure
 //!   post-processing and costs no ε. Repeat requests hit the cache, skip the
 //!   DP learning entirely and leave the ledger untouched.
+//! * **Utility store** ([`evalstore`]) — every completed job's release is
+//!   compared against its original (`agmdp_eval::UtilityReport`, ε-free
+//!   post-processing) and aggregated per dataset, so `GET /evaluate` reports
+//!   the utility of what the server released alongside the ledger's record
+//!   of what it cost.
 //! * **HTTP server** ([`server`]) — hand-rolled HTTP/1.1 framing on
 //!   `std::net::TcpListener` with a fixed worker thread pool (the container
 //!   has no crates.io access, so there is no tokio; [`http`] and [`json`] are
@@ -50,6 +55,7 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod evalstore;
 pub mod http;
 pub mod jobs;
 pub mod json;

@@ -12,6 +12,7 @@
 //! | `POST /synthesize`   | admit (budget/cache) and enqueue a job |
 //! | `GET /jobs/:id`      | poll an enqueued job |
 //! | `GET /budget/:name`  | one dataset's ledger state |
+//! | `GET /evaluate`      | aggregated utility of served releases, per dataset |
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -20,7 +21,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use serde::Value;
+use serde::{Serialize, Value};
 
 use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_core::workflow::StructuralModelKind;
@@ -293,11 +294,12 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ("GET", "/datasets") => handle_list_datasets(engine),
         ("POST", "/datasets") => handle_register_dataset(engine, &request.body),
         ("POST", "/synthesize") => handle_synthesize(state, &request.body),
+        ("GET", "/evaluate") => handle_evaluate(engine),
         ("GET", _) if path.starts_with("/jobs/") => handle_job(jobs, &path["/jobs/".len()..]),
         ("GET", _) if path.starts_with("/budget/") => {
             handle_budget(engine, &path["/budget/".len()..])
         }
-        (_, "/healthz" | "/datasets" | "/synthesize") => {
+        (_, "/healthz" | "/datasets" | "/synthesize" | "/evaluate") => {
             error_body(405, "method_not_allowed", "method not allowed")
         }
         (_, _) if path.starts_with("/jobs/") || path.starts_with("/budget/") => {
@@ -522,6 +524,26 @@ fn handle_job(jobs: &JobStore, id_text: &str) -> Response {
     ok_json(200, obj(entries))
 }
 
+/// `GET /evaluate`: the aggregated utility of every release served so far,
+/// per dataset — the server-side counterpart of the `agmdp-eval` harness
+/// (same metric columns, accumulated over live traffic instead of a plan).
+fn handle_evaluate(engine: &Arc<SynthesisEngine>) -> Response {
+    let datasets: Vec<Value> = engine
+        .evaluations()
+        .summaries()
+        .into_iter()
+        .map(|(name, utility)| {
+            obj(vec![
+                ("dataset", Value::Str(name)),
+                ("runs", Value::UInt(utility.runs)),
+                ("mean", utility.mean.to_json_value()),
+                ("stddev", utility.stddev.to_json_value()),
+            ])
+        })
+        .collect();
+    ok_json(200, obj(vec![("datasets", Value::Array(datasets))]))
+}
+
 fn handle_budget(engine: &Arc<SynthesisEngine>, name: &str) -> Response {
     match engine.ledger().status(name) {
         Some(status) => ok_json(
@@ -707,6 +729,7 @@ fn outcome_value(outcome: &SynthesisOutcome) -> Value {
                 ("avg_degree", Value::Float(outcome.stats.avg_degree)),
             ]),
         ),
+        ("utility", outcome.utility.to_json_value()),
     ];
     if let Some(text) = &outcome.graph_text {
         entries.push(("graph", Value::Str(text.clone())));
@@ -863,6 +886,53 @@ mod tests {
         assert_eq!(not_int.status, 400, "{}", not_int.body);
         let spent_after = state.engine.ledger().status("toy").unwrap().spent;
         assert_eq!(spent_before, spent_after);
+    }
+
+    #[test]
+    fn evaluate_route_reports_aggregated_utility() {
+        let state = test_state();
+        // Before any job: an empty dataset list, not an error.
+        let empty = get(&state, "/evaluate");
+        assert_eq!(empty.status, 200);
+        assert!(empty.body.contains("\"datasets\":[]"), "{}", empty.body);
+
+        let accepted = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1}"#,
+        );
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let parsed = json::parse(&accepted.body).unwrap();
+        let id = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        match wait_for_job(&state, id) {
+            JobState::Completed(_) => {}
+            other => panic!("job failed: {other:?}"),
+        }
+        // The completed job's result carries its utility report...
+        let job = get(&state, &format!("/jobs/{id}"));
+        assert!(job.body.contains("\"utility\""), "{}", job.body);
+        assert!(job.body.contains("\"ks_degree\""), "{}", job.body);
+        // ...and /evaluate aggregates it per dataset.
+        let evaluate = get(&state, "/evaluate");
+        assert_eq!(evaluate.status, 200);
+        assert!(
+            evaluate.body.contains("\"dataset\":\"toy\""),
+            "{}",
+            evaluate.body
+        );
+        assert!(evaluate.body.contains("\"runs\":1"), "{}", evaluate.body);
+        assert!(evaluate.body.contains("\"mean\""), "{}", evaluate.body);
+        assert!(evaluate.body.contains("\"stddev\""), "{}", evaluate.body);
+        // Wrong method gets a 405 like the other fixed routes.
+        let wrong = route(
+            &state,
+            &Request {
+                method: "POST".into(),
+                path: "/evaluate".into(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(wrong.status, 405);
     }
 
     #[test]

@@ -1,82 +1,46 @@
 //! Privacy sweep: the utility of AGM-DP synthetic graphs as the privacy budget
 //! ε shrinks, comparing the TriCycLe and FCL structural models.
 //!
-//! This is a miniature, single-dataset version of the paper's Tables 2–5.
+//! This is a miniature, single-dataset version of the paper's Tables 2–5,
+//! driven by the `agmdp-eval` experiment harness: the plan below is the
+//! programmatic twin of a `.plan` file (see `plans/default.plan` for the
+//! committed full grid and `docs/EVALUATION.md` for the written-up results).
 //!
 //! ```text
 //! cargo run --release --example privacy_sweep
 //! ```
 
-use agmdp::core::ThetaF;
-use agmdp::metrics::distance::{hellinger_distance, mean_relative_error};
 use agmdp::prelude::*;
-use rand::SeedableRng;
 
 fn main() {
-    let spec = DatasetSpec::lastfm().scaled(0.5);
-    let input = generate_dataset(&spec, 11).expect("dataset generation succeeds");
-    let truth_f = ThetaF::from_graph(&input);
-    println!(
-        "input ({}): {} nodes, {} edges, {} triangles",
-        spec.name,
-        input.num_nodes(),
-        input.num_edges(),
-        agmdp::graph::triangles::count_triangles(&input)
-    );
-    println!();
-    println!(
-        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "epsilon", "model", "ThetaF", "H_F", "KS_S", "H_S", "tri RE", "m RE"
-    );
-
-    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-    let trials = 3usize;
-    let settings: Vec<(String, Privacy)> = vec![
-        ("non-private".to_string(), Privacy::NonPrivate),
-        ("ln 3".to_string(), Privacy::Dp { epsilon: 3f64.ln() }),
-        ("ln 2".to_string(), Privacy::Dp { epsilon: 2f64.ln() }),
-        ("0.3".to_string(), Privacy::Dp { epsilon: 0.3 }),
-        ("0.2".to_string(), Privacy::Dp { epsilon: 0.2 }),
+    // The old ad-hoc loop of this example is now a declarative plan: one
+    // dataset, the paper's small-ε grid plus the non-private baseline, both
+    // structural models, three repetitions per cell.
+    let mut plan = EvalPlan::new("privacy-sweep");
+    plan.datasets.push(DatasetRef::synthetic("lastfm", 0.5, 11));
+    plan.epsilons = vec![
+        EpsilonSpec::non_private(),
+        EpsilonSpec::dp(3f64.ln()),
+        EpsilonSpec::dp(2f64.ln()),
+        EpsilonSpec::dp(0.3),
+        EpsilonSpec::dp(0.2),
+    ];
+    plan.models = vec![StructuralModelKind::Fcl, StructuralModelKind::TriCycLe];
+    plan.repetitions = 3;
+    plan.seed = 23;
+    plan.metrics = vec![
+        "attr_edge_hellinger".to_string(),
+        "ks_degree".to_string(),
+        "hellinger_degree".to_string(),
+        "triangle_count_re".to_string(),
+        "edge_count_re".to_string(),
     ];
 
-    for (label, privacy) in settings {
-        for (model, name) in [
-            (StructuralModelKind::Fcl, "AGM-FCL"),
-            (StructuralModelKind::TriCycLe, "AGM-TriCL"),
-        ] {
-            let config = AgmConfig {
-                privacy,
-                model,
-                ..AgmConfig::default()
-            };
-            let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
-            for _ in 0..trials {
-                let synth = synthesize(&input, &config, &mut rng).expect("synthesis succeeds");
-                let report = GraphComparison::compare(&input, &synth);
-                let achieved_f = ThetaF::from_graph(&synth);
-                acc.0 += mean_relative_error(truth_f.probabilities(), achieved_f.probabilities());
-                acc.1 += hellinger_distance(truth_f.probabilities(), achieved_f.probabilities());
-                acc.2 += report.ks_degree;
-                acc.3 += report.hellinger_degree;
-                acc.4 += report.triangle_count_re;
-                acc.5 += report.edge_count_re;
-            }
-            let t = trials as f64;
-            println!(
-                "{:<12} {:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.4}",
-                label,
-                name,
-                acc.0 / t,
-                acc.1 / t,
-                acc.2 / t,
-                acc.3 / t,
-                acc.4 / t,
-                acc.5 / t
-            );
-        }
-    }
+    let report = plan.run().expect("plan runs");
+    print!("{}", report.to_text_table());
 
     println!();
     println!("Expected shape (paper, Tables 2-5): errors grow as epsilon shrinks; the TriCycLe");
     println!("rows keep the triangle-count error far below the FCL rows at every privacy level.");
+    println!("Re-run `agmdp evaluate --plan plans/default.plan` for the committed full grid.");
 }

@@ -18,8 +18,9 @@
 //! | [`privacy`] | Laplace / exponential mechanisms, smooth sensitivity, constrained inference, Ladder triangle counting, budgets |
 //! | [`models`] | Chung-Lu (FCL), TCL and TriCycLe generative models |
 //! | [`core`] | AGM parameters, DP learners, the AGM-DP synthesis workflow |
-//! | [`metrics`] | KS / Hellinger / MRE evaluation statistics |
+//! | [`metrics`] | KS / Hellinger / MRE / assortativity / correlation evaluation statistics |
 //! | [`datasets`] | synthetic stand-ins for the paper's four datasets |
+//! | [`eval`] | declarative, deterministic experiment harness (the paper's evaluation) |
 //! | [`service`] | multi-tenant HTTP synthesis server: budget ledger, fitted-model cache, async jobs |
 //!
 //! ## Quickstart
@@ -51,6 +52,7 @@
 
 pub use agmdp_core as core;
 pub use agmdp_datasets as datasets;
+pub use agmdp_eval as eval;
 pub use agmdp_graph as graph;
 pub use agmdp_metrics as metrics;
 pub use agmdp_models as models;
@@ -66,6 +68,7 @@ pub mod prelude {
     };
     pub use agmdp_core::{ThetaF, ThetaM, ThetaX};
     pub use agmdp_datasets::{generate_dataset, toy_social_graph, DatasetSpec};
+    pub use agmdp_eval::{DatasetRef, EpsilonSpec, EvalPlan, EvalReport, UtilityReport};
     pub use agmdp_graph::{AttributeSchema, AttributedGraph, GraphBuilder};
     pub use agmdp_metrics::GraphComparison;
     pub use agmdp_models::{ChungLuModel, StructuralModel, TclModel, TriCycLeModel};

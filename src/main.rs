@@ -12,6 +12,9 @@
 //! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]` — run
 //!   the multi-tenant synthesis server with a persistent privacy-budget
 //!   ledger.
+//! * `evaluate --plan <file> [--out <dir>] [--markdown <file>] [options]` —
+//!   run a declarative experiment plan (the paper's evaluation) and emit
+//!   per-trial and aggregate artifacts as JSON/CSV/markdown.
 //!
 //! Run `agmdp help` for the full usage text.
 
@@ -25,6 +28,7 @@ use agmdp::core::correlations_dp::CorrelationMethod;
 use agmdp::core::workflow::{synthesize, AgmConfig, Privacy, StructuralModelKind};
 use agmdp::core::{ThetaF, ThetaX};
 use agmdp::datasets::{generate_dataset, DatasetSpec};
+use agmdp::eval::EvalPlan;
 use agmdp::graph::clustering::{average_local_clustering, global_clustering};
 use agmdp::graph::components::connected_components;
 use agmdp::graph::triangles::count_triangles;
@@ -46,18 +50,27 @@ USAGE:
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
+    agmdp evaluate   --plan <plan-file> [--out <dir>] [--markdown <file>]
+                     [--repetitions <n>] [--threads <n>] [--seed <s>]
     agmdp help
 
 The graph file format is the line-oriented text format documented in
 `agmdp::graph::io` (nodes/attr/edge records). `serve` exposes the JSON
 endpoints GET /healthz, GET /datasets, POST /datasets, POST /synthesize,
-GET /jobs/:id and GET /budget/:dataset.
+GET /jobs/:id, GET /budget/:dataset and GET /evaluate.
 
 `synthesize --threads <n>` runs the sampling phase on n worker threads; the
 output graph is bit-identical to --threads 1 at the same seed (parameter
 learning always stays single-threaded). `serve --threads <n>` sizes the HTTP
 worker pool; per-request sampling threads are the `threads` field of the
-POST /synthesize body.";
+POST /synthesize body.
+
+`evaluate` runs the experiment plan (format documented in
+`agmdp::eval::plan`), prints the aggregate utility table, and — with --out —
+writes report.json, aggregates.json, trials.csv and aggregates.csv into the
+directory. --markdown writes the tables `docs/EVALUATION.md` embeds. The
+--repetitions/--threads/--seed flags override the plan; results are
+bit-identical at every --threads value.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +79,7 @@ fn main() -> ExitCode {
         Some("synthesize") => cmd_synthesize(&args[1..]),
         Some("generate-dataset") => cmd_generate_dataset(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -213,6 +227,79 @@ fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let flags = args::parse(
+        args,
+        &[
+            "--plan",
+            "--out",
+            "--markdown",
+            "--repetitions",
+            "--threads",
+            "--seed",
+        ],
+        &[],
+    )?;
+    let plan_path = flags.require("--plan", "<plan-file>")?.to_string();
+    let text = std::fs::read_to_string(&plan_path)
+        .map_err(|e| format!("failed to read {plan_path}: {e}"))?;
+    let mut plan = EvalPlan::parse(&text).map_err(|e| format!("{plan_path}: {e}"))?;
+    if let Some(repetitions) = flags.get_parsed("--repetitions", "a positive integer")? {
+        plan.repetitions = repetitions;
+    }
+    if let Some(threads) = flags.get_parsed("--threads", "a positive integer")? {
+        plan.threads = threads;
+    }
+    if let Some(seed) = flags.get_parsed("--seed", "an integer")? {
+        plan.seed = seed;
+    }
+
+    let cells = plan.datasets.len() * plan.epsilons.len() * plan.models.len();
+    println!(
+        "running plan '{}' from {plan_path}: {cells} cells × {} repetitions = {} trials on {} thread(s)",
+        plan.name,
+        plan.repetitions,
+        cells * plan.repetitions,
+        plan.threads
+    );
+    let report = plan.run().map_err(|e| e.to_string())?;
+    println!();
+    print!("{}", report.to_text_table());
+
+    if let Some(dir) = flags.get("--out") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("failed to create {}: {e}", dir.display()))?;
+        let artifacts: [(&str, String); 4] = [
+            ("report.json", report.to_json()),
+            ("aggregates.json", report.aggregates_json()),
+            ("trials.csv", report.trials_csv()),
+            ("aggregates.csv", report.aggregates_csv()),
+        ];
+        for (name, contents) in artifacts {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)
+                .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+        }
+        println!(
+            "\nwrote report.json, aggregates.json, trials.csv, aggregates.csv to {}",
+            dir.display()
+        );
+    }
+    if let Some(md_path) = flags.get("--markdown") {
+        std::fs::write(md_path, report.to_markdown())
+            .map_err(|e| format!("failed to write {md_path}: {e}"))?;
+        println!("wrote markdown tables to {md_path}");
+    }
+    // Echo every result-affecting override so the printed command really
+    // reproduces this run (--threads is omitted: scheduling only).
+    println!(
+        "\nreproduce with: agmdp evaluate --plan {plan_path} --seed {} --repetitions {}",
+        plan.seed, plan.repetitions
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = args::parse(args, &["--addr", "--threads", "--ledger-path"], &[])?;
     let default = ServiceConfig::default();
@@ -231,7 +318,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .as_deref()
             .map_or("in-memory".to_string(), |p| p.display().to_string()),
     );
-    println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset");
+    println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset · GET /evaluate");
     handle.wait();
     Ok(())
 }

@@ -1,0 +1,57 @@
+//! Golden-file regression test for the committed default evaluation plan.
+//!
+//! Runs `plans/default.plan` at the reduced repetition count the CI
+//! `eval-smoke` job uses and compares the aggregate JSON artifact against
+//! the checked-in golden file **byte for byte** — the harness is
+//! deterministic, so there is no tolerance. A diff here means the synthesis
+//! pipeline's output changed (seeding, sampling order, a mechanism, or a
+//! metric definition); if the change is intended, regenerate with:
+//!
+//! ```text
+//! cargo run --release -- evaluate --plan plans/default.plan \
+//!     --repetitions 2 --out target/eval-smoke
+//! cp target/eval-smoke/aggregates.json tests/golden/eval_smoke_aggregates.json
+//! ```
+//!
+//! and update the tables in docs/EVALUATION.md from a full-repetition run.
+
+use agmdp::eval::EvalPlan;
+
+const GOLDEN: &str = include_str!("golden/eval_smoke_aggregates.json");
+/// Must match the CI job's `--repetitions` override.
+const SMOKE_REPETITIONS: usize = 2;
+
+#[test]
+fn default_plan_aggregates_match_the_golden_file() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/plans/default.plan"))
+        .expect("committed default plan exists");
+    let mut plan = EvalPlan::parse(&text).expect("default plan parses");
+    plan.repetitions = SMOKE_REPETITIONS;
+    let report = plan.run().expect("default plan runs");
+    let got = report.aggregates_json();
+    assert!(
+        got == GOLDEN,
+        "aggregates diverged from tests/golden/eval_smoke_aggregates.json — \
+         the pipeline's deterministic output changed; see the header of this \
+         test for the regeneration commands.\nfirst difference at byte {}",
+        got.bytes()
+            .zip(GOLDEN.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.len().min(GOLDEN.len()))
+    );
+}
+
+#[test]
+fn default_plan_covers_the_issue_grid() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/plans/default.plan"))
+        .expect("committed default plan exists");
+    let plan = EvalPlan::parse(&text).expect("default plan parses");
+    // toy + a lastfm-like synthetic dataset, ε ∈ {0.1, 0.5, 1, 2, ∞}, both
+    // models — the grid the results book documents.
+    assert_eq!(plan.datasets.len(), 2);
+    let labels: Vec<String> = plan.epsilons.iter().map(|e| e.label()).collect();
+    assert_eq!(labels, ["0.1", "0.5", "1", "2", "inf"]);
+    assert_eq!(plan.models.len(), 2);
+    assert_eq!(plan.repetitions, 5);
+    assert_eq!(plan.seed, 2016);
+}
