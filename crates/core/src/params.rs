@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use agmdp_graph::degree::DegreeSequence;
 use agmdp_graph::triangles::count_triangles;
-use agmdp_graph::{AttributeSchema, AttributedGraph};
+use agmdp_graph::{AttributeSchema, GraphView};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -37,9 +37,9 @@ impl ThetaX {
         })
     }
 
-    /// Exact (non-private) estimate from a graph.
+    /// Exact (non-private) estimate from a graph (any [`GraphView`]).
     #[must_use]
-    pub fn from_graph(graph: &AttributedGraph) -> Self {
+    pub fn from_graph<G: GraphView>(graph: &G) -> Self {
         let counts = node_config_counts(graph);
         Self {
             schema: graph.schema(),
@@ -102,10 +102,10 @@ impl ThetaF {
         })
     }
 
-    /// Exact (non-private) estimate from a graph. A graph with no edges yields
-    /// the uniform distribution.
+    /// Exact (non-private) estimate from a graph (any [`GraphView`]). A graph
+    /// with no edges yields the uniform distribution.
     #[must_use]
-    pub fn from_graph(graph: &AttributedGraph) -> Self {
+    pub fn from_graph<G: GraphView>(graph: &G) -> Self {
         let counts = edge_config_counts(graph);
         Self {
             schema: graph.schema(),
@@ -140,7 +140,7 @@ pub struct ThetaM {
 impl ThetaM {
     /// Exact (non-private) estimate from a graph, including the triangle count.
     #[must_use]
-    pub fn from_graph(graph: &AttributedGraph) -> Self {
+    pub fn from_graph<G: GraphView>(graph: &G) -> Self {
         Self {
             degree_sequence: graph.degrees(),
             triangles: Some(count_triangles(graph)),
@@ -149,7 +149,7 @@ impl ThetaM {
 
     /// Exact estimate without the triangle count (for FCL).
     #[must_use]
-    pub fn from_graph_degrees_only(graph: &AttributedGraph) -> Self {
+    pub fn from_graph_degrees_only<G: GraphView>(graph: &G) -> Self {
         Self {
             degree_sequence: graph.degrees(),
             triangles: None,
@@ -171,7 +171,7 @@ impl ThetaM {
 
 /// The raw node-configuration counts `Q_X` (one per element of `Y_w`).
 #[must_use]
-pub fn node_config_counts(graph: &AttributedGraph) -> Vec<f64> {
+pub fn node_config_counts<G: GraphView>(graph: &G) -> Vec<f64> {
     let mut counts = vec![0.0; graph.schema().num_node_configs()];
     for v in graph.nodes() {
         counts[graph.schema().node_config(graph.attribute_code(v))] += 1.0;
@@ -181,7 +181,7 @@ pub fn node_config_counts(graph: &AttributedGraph) -> Vec<f64> {
 
 /// The raw edge-configuration counts `Q_F` (one per element of `Y^F_w`).
 #[must_use]
-pub fn edge_config_counts(graph: &AttributedGraph) -> Vec<f64> {
+pub fn edge_config_counts<G: GraphView>(graph: &G) -> Vec<f64> {
     let mut counts = vec![0.0; graph.schema().num_edge_configs()];
     for e in graph.edges() {
         counts[graph.edge_config(e.u, e.v)] += 1.0;
@@ -192,6 +192,7 @@ pub fn edge_config_counts(graph: &AttributedGraph) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agmdp_graph::AttributedGraph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

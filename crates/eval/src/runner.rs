@@ -106,15 +106,16 @@ impl EvalPlan {
     /// ```
     pub fn run(&self) -> Result<EvalReport> {
         self.validate()?;
-        // Materialise each input once, with its original-side metric profile
-        // precomputed (every trial of a dataset scores against the same
-        // original).
+        // Materialise each input once and freeze it: the mutable graph feeds
+        // synthesis (the learners read it), the CSR snapshot feeds the
+        // original-side metric profile (every trial of a dataset scores
+        // against the same original).
         let inputs: Vec<(String, AttributedGraph, GraphProfile)> = self
             .datasets
             .iter()
             .map(|d| {
                 let graph = d.materialize()?;
-                let profile = GraphProfile::of(&graph);
+                let profile = GraphProfile::of(&graph.freeze());
                 Ok((d.label(), graph, profile))
             })
             .collect::<Result<_>>()?;
@@ -153,13 +154,16 @@ impl EvalPlan {
                         self.epsilons[cell.epsilon].label()
                     )
                 })?;
+                // Freeze once per trial: all eleven metric columns traverse
+                // the CSR snapshot instead of the adjacency lists.
+                let frozen = synthetic.freeze();
                 Ok(TrialRow {
                     dataset: label.clone(),
                     model: model.name().to_string(),
                     epsilon: self.epsilons[cell.epsilon].label(),
                     rep,
                     trial_seed: derive_chunk_seed(self.seed, trial as u64),
-                    metrics: UtilityReport::against(profile, &synthetic),
+                    metrics: UtilityReport::against(profile, &frozen),
                 })
             });
 

@@ -7,15 +7,15 @@
 //! `C_i = 2 |{e_jk : v_j, v_k ∈ Γ(v_i)}| / (d_i (d_i - 1))`.
 //! Figure 3 additionally plots the CCDF of the local coefficients.
 
-use crate::graph::AttributedGraph;
 use crate::triangles::{count_triangles, count_wedges, triangles_per_node};
+use crate::view::GraphView;
 
 /// Local clustering coefficient of every node.
 ///
 /// Nodes with degree `< 2` have a local coefficient of `0`, following the
 /// convention used by the paper's evaluation (they contribute no wedges).
 #[must_use]
-pub fn local_clustering_coefficients(g: &AttributedGraph) -> Vec<f64> {
+pub fn local_clustering_coefficients<G: GraphView>(g: &G) -> Vec<f64> {
     let tri = triangles_per_node(g);
     g.nodes()
         .map(|v| {
@@ -31,7 +31,7 @@ pub fn local_clustering_coefficients(g: &AttributedGraph) -> Vec<f64> {
 
 /// Average of the local clustering coefficients, `C̄`.
 #[must_use]
-pub fn average_local_clustering(g: &AttributedGraph) -> f64 {
+pub fn average_local_clustering<G: GraphView>(g: &G) -> f64 {
     if g.num_nodes() == 0 {
         return 0.0;
     }
@@ -43,7 +43,7 @@ pub fn average_local_clustering(g: &AttributedGraph) -> f64 {
 ///
 /// Returns `0` when the graph has no wedges.
 #[must_use]
-pub fn global_clustering(g: &AttributedGraph) -> f64 {
+pub fn global_clustering<G: GraphView>(g: &G) -> f64 {
     let wedges = count_wedges(g);
     if wedges == 0 {
         0.0
@@ -58,7 +58,7 @@ pub fn global_clustering(g: &AttributedGraph) -> f64 {
 /// of degree `d`. Returned as a vector indexed by degree; degrees with no
 /// wedges get `0`.
 #[must_use]
-pub fn degreewise_clustering(g: &AttributedGraph) -> Vec<f64> {
+pub fn degreewise_clustering<G: GraphView>(g: &G) -> Vec<f64> {
     let max_d = g.max_degree();
     let mut tri_by_deg = vec![0.0f64; max_d + 1];
     let mut wedge_by_deg = vec![0.0f64; max_d + 1];

@@ -7,6 +7,7 @@
 //! (Algorithm 2) repeatedly queries these notions.
 
 use crate::graph::{AttributedGraph, NodeId};
+use crate::view::GraphView;
 
 /// Labels each node with a component id in `0..num_components` and returns the
 /// labels together with the component sizes.
@@ -70,7 +71,7 @@ impl Components {
 /// Computes connected components with an iterative BFS (no recursion, so deep
 /// graphs cannot overflow the stack).
 #[must_use]
-pub fn connected_components(g: &AttributedGraph) -> Components {
+pub fn connected_components<G: GraphView>(g: &G) -> Components {
     let n = g.num_nodes();
     let mut labels = vec![u32::MAX; n];
     let mut sizes = Vec::new();
@@ -100,7 +101,7 @@ pub fn connected_components(g: &AttributedGraph) -> Components {
 
 /// Returns `true` if the graph is connected (trivially true for `n <= 1`).
 #[must_use]
-pub fn is_connected(g: &AttributedGraph) -> bool {
+pub fn is_connected<G: GraphView>(g: &G) -> bool {
     g.num_nodes() <= 1 || connected_components(g).count() == 1
 }
 

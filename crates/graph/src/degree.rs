@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::graph::AttributedGraph;
+use crate::view::GraphView;
 
 /// The unordered degree sequence of a graph together with derived views.
 ///
@@ -22,10 +22,14 @@ pub struct DegreeSequence {
 
 impl DegreeSequence {
     /// Builds the degree sequence of `g` (one entry per node, by node id).
+    ///
+    /// Accepts any [`GraphView`] — the mutable build-phase graph or the
+    /// frozen CSR snapshot — and streams degrees through the allocation-free
+    /// iterator (no intermediate `Vec<usize>`).
     #[must_use]
-    pub fn from_graph(g: &AttributedGraph) -> Self {
+    pub fn from_graph<G: GraphView>(g: &G) -> Self {
         Self {
-            degrees: g.degrees().into_iter().map(|d| d as f64).collect(),
+            degrees: g.degree_iter().map(|d| d as f64).collect(),
         }
     }
 
@@ -149,6 +153,7 @@ impl DegreeSequence {
 mod tests {
     use super::*;
     use crate::attributes::AttributeSchema;
+    use crate::graph::AttributedGraph;
 
     fn path_graph(n: usize) -> AttributedGraph {
         let mut g = AttributedGraph::new(n, AttributeSchema::new(0));

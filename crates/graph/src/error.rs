@@ -49,6 +49,30 @@ pub enum GraphError {
     InvalidParameter(String),
     /// Failure while parsing or writing the text interchange format.
     Format(String),
+    /// A binary graph file did not start with the `.agb` magic bytes.
+    BadMagic,
+    /// A binary graph file declared a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version recorded in the file header.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// A binary graph file ended before the declared payload was complete.
+    TruncatedBinary {
+        /// Bytes the header implies the file must contain.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The trailing checksum of a binary graph file does not match its
+    /// contents (bit rot or an interrupted write).
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum computed over the file's contents.
+        computed: u64,
+    },
     /// An underlying I/O error (carried as a string so the error stays `Clone + Eq`).
     Io(String),
 }
@@ -80,6 +104,27 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Format(msg) => write!(f, "format error: {msg}"),
+            GraphError::BadMagic => {
+                write!(f, "not a binary graph file (missing AGB magic bytes)")
+            }
+            GraphError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported binary graph version {found} (this build reads up to {supported})"
+                )
+            }
+            GraphError::TruncatedBinary { expected, actual } => {
+                write!(
+                    f,
+                    "truncated binary graph file: expected {expected} bytes, found {actual}"
+                )
+            }
+            GraphError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "binary graph checksum mismatch: file records {stored:#018x}, contents hash to {computed:#018x}"
+                )
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

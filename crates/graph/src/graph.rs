@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::attributes::{AttributeSchema, EdgeConfigIndex};
 use crate::error::GraphError;
+use crate::frozen::FrozenGraph;
+use crate::view::GraphView;
 use crate::Result;
 
 /// Dense node identifier in `0..n`.
@@ -126,16 +128,25 @@ impl AttributedGraph {
         self.adjacency[v as usize].len()
     }
 
-    /// The degrees of all nodes, indexed by node id.
+    /// Allocation-free iterator over all node degrees, by node id.
+    ///
+    /// Hot paths that only fold over the sequence (histograms, maxima, sums)
+    /// should prefer this over the allocating [`Self::degrees`].
+    pub fn degree_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.adjacency.iter().map(Vec::len)
+    }
+
+    /// The degrees of all nodes, indexed by node id (routed through
+    /// [`Self::degree_iter`]).
     #[must_use]
     pub fn degrees(&self) -> Vec<usize> {
-        self.adjacency.iter().map(Vec::len).collect()
+        self.degree_iter().collect()
     }
 
     /// Maximum degree `d_max` (0 for an empty graph).
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.degree_iter().max().unwrap_or(0)
     }
 
     /// Average degree `2m / n` (0 for an empty graph).
@@ -316,6 +327,17 @@ impl AttributedGraph {
             .edge_config(self.attributes[u as usize], self.attributes[v as usize])
     }
 
+    /// Snapshots this graph into an immutable CSR [`FrozenGraph`] for the
+    /// read-only analysis phase (metrics, evaluation, serving). `O(n + m)`.
+    ///
+    /// Every read accessor of the snapshot returns exactly the values this
+    /// graph would, and computations over the snapshot are bit-identical to
+    /// the same computations here — freezing is free of semantic drift.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenGraph {
+        FrozenGraph::from_graph(self)
+    }
+
     /// Removes every edge while keeping nodes and attributes.
     pub fn clear_edges(&mut self) {
         for nbrs in &mut self.adjacency {
@@ -366,6 +388,27 @@ impl AttributedGraph {
             )));
         }
         Ok(())
+    }
+}
+
+impl GraphView for AttributedGraph {
+    fn num_nodes(&self) -> usize {
+        AttributedGraph::num_nodes(self)
+    }
+    fn num_edges(&self) -> usize {
+        AttributedGraph::num_edges(self)
+    }
+    fn schema(&self) -> AttributeSchema {
+        AttributedGraph::schema(self)
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        AttributedGraph::neighbors(self, v)
+    }
+    fn attribute_code(&self, v: NodeId) -> u32 {
+        AttributedGraph::attribute_code(self, v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        AttributedGraph::degree(self, v)
     }
 }
 

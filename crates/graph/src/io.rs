@@ -1,7 +1,10 @@
-//! Plain-text interchange format for attributed graphs.
+//! Interchange formats for attributed graphs: line-oriented text and the
+//! binary `.agb` container.
 //!
-//! The format is line oriented and mirrors how the paper's datasets are
-//! distributed (an edge list plus a node-attribute table):
+//! ## Text format
+//!
+//! Line oriented, mirroring how the paper's datasets are distributed (an edge
+//! list plus a node-attribute table):
 //!
 //! ```text
 //! # comments and blank lines are ignored
@@ -13,6 +16,40 @@
 //! `attr` lines are optional (missing nodes default to the all-zero vector);
 //! `edge` lines may contain duplicates or self-loops, which are skipped via
 //! [`crate::GraphBuilder`] exactly as the paper's pre-processing does.
+//!
+//! ## Binary format (`.agb`)
+//!
+//! A versioned little-endian container whose payload is exactly the CSR
+//! arrays of a [`FrozenGraph`], so reading it requires no parsing, sorting
+//! or re-indexing — the bytes *are* the analysis-phase representation:
+//!
+//! ```text
+//! offset  size      field
+//! 0       4         magic  b"AGB1"
+//! 4       4         format version (u32, currently 1)
+//! 8       8         n  — node count (u64)
+//! 16      8         m  — undirected edge count (u64)
+//! 24      4         w  — attribute width (u32)
+//! 28      4(n+1)    CSR offsets (u32 each)
+//! …       4·2m      CSR neighbors (u32 each)
+//! …       4n        attribute codes (u32 each; present only when w > 0)
+//! end-8   8         FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! All malformations are reported as typed [`GraphError`]s
+//! ([`GraphError::BadMagic`], [`GraphError::UnsupportedVersion`],
+//! [`GraphError::TruncatedBinary`], [`GraphError::ChecksumMismatch`]) and a
+//! checksum-valid file still passes full CSR validation
+//! ([`FrozenGraph::from_csr`]) before a graph is returned.
+//!
+//! [`load_file`] / [`load_frozen_file`] auto-detect the format from the
+//! file's leading bytes, so every path-based loader (CLI `--input`, the
+//! service's `POST /datasets` path registration) accepts both formats
+//! transparently. The round-trip text → binary → text reproduces any
+//! canonically written text file (the output of [`to_text`]) byte for
+//! byte; hand-authored files that rely on the parser's leniencies
+//! (comments, blank lines, duplicate/self-loop edges, arbitrary line
+//! order) round-trip to the same *graph* in canonical form.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -21,12 +58,18 @@ use std::path::Path;
 use crate::attributes::AttributeSchema;
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
+use crate::frozen::FrozenGraph;
 use crate::graph::AttributedGraph;
+use crate::view::GraphView;
 use crate::Result;
 
 /// Serialises a graph to the text format described in the module docs.
+///
+/// Accepts any [`GraphView`]; the output depends only on the graph's
+/// logical content, so a frozen snapshot serialises byte-identically to
+/// the graph it was frozen from.
 #[must_use]
-pub fn to_text(g: &AttributedGraph) -> String {
+pub fn to_text<G: GraphView>(g: &G) -> String {
     let w = g.schema().width();
     let mut out = String::new();
     let _ = writeln!(out, "nodes {} {}", g.num_nodes(), w);
@@ -118,7 +161,7 @@ pub fn from_text(text: &str) -> Result<AttributedGraph> {
 }
 
 /// Writes a graph to a file in the text format.
-pub fn write_file<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> Result<()> {
+pub fn write_file<G: GraphView, P: AsRef<Path>>(g: &G, path: P) -> Result<()> {
     fs::write(path, to_text(g))?;
     Ok(())
 }
@@ -127,6 +170,255 @@ pub fn write_file<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> Result<()> {
 pub fn read_file<P: AsRef<Path>>(path: P) -> Result<AttributedGraph> {
     let text = fs::read_to_string(path)?;
     from_text(&text)
+}
+
+/// Magic bytes opening every binary graph file.
+pub const BINARY_MAGIC: [u8; 4] = *b"AGB1";
+/// The binary format version this build writes (and the newest it reads).
+pub const BINARY_VERSION: u32 = 1;
+/// Conventional file extension for the binary format.
+pub const BINARY_EXTENSION: &str = "agb";
+
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+const CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a 64-bit hash — the binary format's integrity checksum. Not
+/// cryptographic; it guards against bit rot and interrupted writes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over the byte buffer that reports truncation with the total
+/// length the header implies, not just "unexpected EOF".
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(GraphError::TruncatedBinary {
+                expected: usize::MAX,
+                actual: self.bytes.len(),
+            })?;
+        if end > self.bytes.len() {
+            return Err(GraphError::TruncatedBinary {
+                expected: end,
+                actual: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>> {
+        let bytes = self.take(count.checked_mul(4).ok_or(GraphError::TruncatedBinary {
+            expected: usize::MAX,
+            actual: self.bytes.len(),
+        })?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// Serialises a graph to the binary `.agb` format described in the module
+/// docs. Accepts any [`GraphView`]; the payload written is the graph's CSR
+/// image (offsets derived from degrees, neighbors in node order), identical
+/// for both representations of the same graph.
+/// # Panics
+///
+/// Panics if the graph has more than `u32::MAX / 2` edges (the CSR offsets
+/// are 32-bit; same bound as [`FrozenGraph::from_graph`]).
+#[must_use]
+pub fn to_binary<G: GraphView>(g: &G) -> Vec<u8> {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    assert!(
+        u32::try_from(2 * m).is_ok(),
+        "graph too large for binary serialisation: {} half-edges exceed u32 offsets",
+        2 * m
+    );
+    let w = g.schema().width();
+    let attr_words = if w > 0 { n } else { 0 };
+    let mut out =
+        Vec::with_capacity(HEADER_LEN + 4 * (n + 1) + 4 * 2 * m + 4 * attr_words + CHECKSUM_LEN);
+    out.extend_from_slice(&BINARY_MAGIC);
+    push_u32(&mut out, BINARY_VERSION);
+    push_u64(&mut out, n as u64);
+    push_u64(&mut out, m as u64);
+    push_u32(&mut out, w as u32);
+    let mut offset = 0u32;
+    push_u32(&mut out, 0);
+    for v in g.nodes() {
+        offset += g.degree(v) as u32;
+        push_u32(&mut out, offset);
+    }
+    for v in g.nodes() {
+        for &u in g.neighbors(v) {
+            push_u32(&mut out, u);
+        }
+    }
+    if w > 0 {
+        for v in g.nodes() {
+            push_u32(&mut out, g.attribute_code(v));
+        }
+    }
+    let checksum = fnv1a64(&out);
+    push_u64(&mut out, checksum);
+    out
+}
+
+/// Returns `true` when `bytes` start with the binary graph magic — the
+/// format auto-detection used by [`load_file`] / [`load_frozen_file`].
+#[must_use]
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= BINARY_MAGIC.len() && bytes[..BINARY_MAGIC.len()] == BINARY_MAGIC
+}
+
+/// Parses a binary `.agb` graph into a validated [`FrozenGraph`].
+///
+/// Every malformation maps to a typed [`GraphError`]: wrong magic, a newer
+/// format version, a payload shorter than the header implies, a checksum
+/// mismatch, and any structural CSR inconsistency a checksum-valid file
+/// might still encode.
+pub fn from_binary(bytes: &[u8]) -> Result<FrozenGraph> {
+    if bytes.len() < BINARY_MAGIC.len() || !is_binary(bytes) {
+        return Err(GraphError::BadMagic);
+    }
+    let mut r = ByteReader::new(bytes);
+    let _magic = r.take(4)?;
+    let version = r.u32()?;
+    if version != BINARY_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: BINARY_VERSION,
+        });
+    }
+    let n = usize::try_from(r.u64()?).map_err(|_| {
+        GraphError::Format("binary graph node count exceeds this platform's usize".into())
+    })?;
+    let m = usize::try_from(r.u64()?).map_err(|_| {
+        GraphError::Format("binary graph edge count exceeds this platform's usize".into())
+    })?;
+    let width = r.u32()? as usize;
+    if width > 16 {
+        return Err(GraphError::Format(format!(
+            "binary graph attribute width {width} exceeds 16"
+        )));
+    }
+    if n > u32::MAX as usize || m.checked_mul(2).is_none_or(|h| h > u32::MAX as usize) {
+        return Err(GraphError::Format(format!(
+            "binary graph dimensions n={n}, m={m} exceed the 32-bit CSR limits"
+        )));
+    }
+    let attr_words = if width > 0 { n } else { 0 };
+    let expected_len = HEADER_LEN + 4 * (n + 1) + 4 * 2 * m + 4 * attr_words + CHECKSUM_LEN;
+    if bytes.len() < expected_len {
+        return Err(GraphError::TruncatedBinary {
+            expected: expected_len,
+            actual: bytes.len(),
+        });
+    }
+    if bytes.len() > expected_len {
+        return Err(GraphError::Format(format!(
+            "binary graph has {} trailing bytes after the checksum",
+            bytes.len() - expected_len
+        )));
+    }
+    // Verify integrity before interpreting the payload.
+    let stored = u64::from_le_bytes(
+        bytes[expected_len - CHECKSUM_LEN..]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let computed = fnv1a64(&bytes[..expected_len - CHECKSUM_LEN]);
+    if stored != computed {
+        return Err(GraphError::ChecksumMismatch { stored, computed });
+    }
+    let offsets = r.u32_vec(n + 1)?;
+    let neighbors = r.u32_vec(2 * m)?;
+    let attributes = if width > 0 { r.u32_vec(n)? } else { vec![0; n] };
+    // `from_csr` rejects offsets whose final entry disagrees with the
+    // neighbor array, and exactly 2m neighbor words were read, so the
+    // resulting edge count necessarily equals the header's m.
+    FrozenGraph::from_csr(AttributeSchema::new(width), offsets, neighbors, attributes)
+}
+
+/// Writes a graph to a file in the binary `.agb` format.
+pub fn write_binary_file<G: GraphView, P: AsRef<Path>>(g: &G, path: P) -> Result<()> {
+    fs::write(path, to_binary(g))?;
+    Ok(())
+}
+
+/// Reads a binary `.agb` graph file into a [`FrozenGraph`].
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<FrozenGraph> {
+    let bytes = fs::read(path)?;
+    from_binary(&bytes)
+}
+
+/// Loads a graph file in either format (auto-detected from the leading
+/// bytes) as a frozen snapshot: binary files deserialise directly, text
+/// files are parsed and frozen.
+pub fn load_frozen_file<P: AsRef<Path>>(path: P) -> Result<FrozenGraph> {
+    let bytes = fs::read(path)?;
+    if is_binary(&bytes) {
+        from_binary(&bytes)
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| {
+            GraphError::Format("graph file is neither binary nor UTF-8 text".into())
+        })?;
+        Ok(from_text(&text)?.freeze())
+    }
+}
+
+/// Loads a graph file in either format (auto-detected from the leading
+/// bytes) as a mutable [`AttributedGraph`]: text files are parsed, binary
+/// files are deserialised and thawed.
+pub fn load_file<P: AsRef<Path>>(path: P) -> Result<AttributedGraph> {
+    let bytes = fs::read(path)?;
+    if is_binary(&bytes) {
+        Ok(from_binary(&bytes)?.thaw())
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| {
+            GraphError::Format("graph file is neither binary nor UTF-8 text".into())
+        })?;
+        from_text(&text)
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +483,52 @@ mod tests {
     fn read_missing_file_is_io_error() {
         let err = read_file("/definitely/not/a/real/path.graph").unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_graph() {
+        let g = sample_graph();
+        let frozen = g.freeze();
+        let bytes = to_binary(&g);
+        assert!(is_binary(&bytes));
+        let parsed = from_binary(&bytes).unwrap();
+        assert_eq!(parsed, frozen);
+        // Serialising the frozen snapshot is byte-identical to serialising
+        // the mutable original.
+        assert_eq!(to_binary(&frozen), bytes);
+        // Text render of both representations agrees too.
+        assert_eq!(to_text(&frozen), to_text(&g));
+    }
+
+    #[test]
+    fn binary_roundtrip_of_unattributed_and_empty_graphs() {
+        for g in [
+            AttributedGraph::unattributed(0),
+            AttributedGraph::unattributed(5),
+            sample_graph(),
+        ] {
+            let parsed = from_binary(&to_binary(&g)).unwrap();
+            assert_eq!(parsed.thaw(), g);
+        }
+    }
+
+    #[test]
+    fn binary_file_roundtrip_and_autodetection() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join(format!("agmdp_graph_bin_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("roundtrip.agb");
+        let txt_path = dir.join("roundtrip.graph");
+        write_binary_file(&g, &bin_path).unwrap();
+        write_file(&g, &txt_path).unwrap();
+        assert_eq!(read_binary_file(&bin_path).unwrap(), g.freeze());
+        // Auto-detection loads both formats through one entry point.
+        assert_eq!(load_file(&bin_path).unwrap(), g);
+        assert_eq!(load_file(&txt_path).unwrap(), g);
+        assert_eq!(load_frozen_file(&bin_path).unwrap(), g.freeze());
+        assert_eq!(load_frozen_file(&txt_path).unwrap(), g.freeze());
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&txt_path).ok();
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   ids, sorted adjacency lists, an insertion-ordered edge list (the paper's
 //!   *canonical edge ordering*, needed by edge truncation and by TriCycLe's
 //!   oldest-edge rule), and per-node attribute codes.
+//! * [`FrozenGraph`] — the immutable CSR snapshot of a finished graph for the
+//!   read-only analysis phase, and [`GraphView`] — the trait both
+//!   representations implement so every analysis function accepts either
+//!   (see the [`frozen`] module docs for the freeze contract).
 //! * [`AttributeSchema`] / attribute-code helpers implementing the paper's
 //!   `f_w` (node-configuration) and `F_w` (edge-configuration) encodings.
 //! * Structural analyses used throughout the paper: degree sequences and
@@ -59,16 +63,20 @@ pub mod clustering;
 pub mod components;
 pub mod degree;
 pub mod error;
+pub mod frozen;
 pub mod graph;
 pub mod io;
 pub mod subgraph;
 pub mod triangles;
 pub mod truncation;
+pub mod view;
 
 pub use attributes::{AttributeSchema, EdgeConfigIndex, NodeConfigIndex};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
+pub use frozen::FrozenGraph;
 pub use graph::{AttributedGraph, Edge, NodeId};
+pub use view::GraphView;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

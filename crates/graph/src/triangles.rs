@@ -7,7 +7,8 @@
 //! additionally needs, for an edge `(u, v)`, the number of triangles that edge
 //! participates in — which equals the common-neighbor count of its endpoints.
 
-use crate::graph::{AttributedGraph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 
 /// Counts the triangles in `g`.
 ///
@@ -15,7 +16,7 @@ use crate::graph::{AttributedGraph, NodeId};
 /// `u < v`, count common neighbors `w > v` so each triangle is counted exactly
 /// once. Runs in `O(sum_e (d_u + d_v))`.
 #[must_use]
-pub fn count_triangles(g: &AttributedGraph) -> u64 {
+pub fn count_triangles<G: GraphView>(g: &G) -> u64 {
     let mut total = 0u64;
     for u in g.nodes() {
         let nbrs_u = g.neighbors(u);
@@ -42,7 +43,7 @@ pub fn count_triangles(g: &AttributedGraph) -> u64 {
 
 /// Counts the wedges (length-two paths) in `g`: `sum_v C(d_v, 2)`.
 #[must_use]
-pub fn count_wedges(g: &AttributedGraph) -> u64 {
+pub fn count_wedges<G: GraphView>(g: &G) -> u64 {
     g.nodes()
         .map(|v| {
             let d = g.degree(v) as u64;
@@ -56,7 +57,7 @@ pub fn count_wedges(g: &AttributedGraph) -> u64 {
 /// `triangles_per_node(g)[v]` is the number of edges among the neighbors of
 /// `v`; summing over all nodes counts each triangle three times.
 #[must_use]
-pub fn triangles_per_node(g: &AttributedGraph) -> Vec<u64> {
+pub fn triangles_per_node<G: GraphView>(g: &G) -> Vec<u64> {
     let mut counts = vec![0u64; g.num_nodes()];
     for u in g.nodes() {
         let nbrs_u = g.neighbors(u);
@@ -76,7 +77,7 @@ pub fn triangles_per_node(g: &AttributedGraph) -> Vec<u64> {
 /// Number of triangles that the (present or hypothetical) edge `(u, v)` closes,
 /// i.e. `|Γ(u) ∩ Γ(v)|`.
 #[must_use]
-pub fn triangles_on_edge(g: &AttributedGraph, u: NodeId, v: NodeId) -> usize {
+pub fn triangles_on_edge<G: GraphView>(g: &G, u: NodeId, v: NodeId) -> usize {
     g.common_neighbor_count(u, v)
 }
 
@@ -84,14 +85,14 @@ pub fn triangles_on_edge(g: &AttributedGraph, u: NodeId, v: NodeId) -> usize {
 /// edge. This is the quantity driving the local sensitivity of triangle
 /// counting used by the Ladder framework.
 #[must_use]
-pub fn max_triangles_on_any_edge(g: &AttributedGraph) -> usize {
+pub fn max_triangles_on_any_edge<G: GraphView>(g: &G) -> usize {
     g.edges()
         .map(|e| g.common_neighbor_count(e.u, e.v))
         .max()
         .unwrap_or(0)
 }
 
-fn common_after(g: &AttributedGraph, u: NodeId, v: NodeId, after: NodeId) -> Vec<NodeId> {
+fn common_after<G: GraphView>(g: &G, u: NodeId, v: NodeId, after: NodeId) -> Vec<NodeId> {
     let nbrs_u = g.neighbors(u);
     let nbrs_v = g.neighbors(v);
     let mut i = nbrs_u.partition_point(|&x| x <= after);

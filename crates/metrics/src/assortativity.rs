@@ -19,7 +19,7 @@
 //! where the sums run over the `M` edges and `j_e`, `k_e` are the endpoint
 //! degrees of edge `e`. The result lies in `[-1, 1]`.
 
-use agmdp_graph::AttributedGraph;
+use agmdp_graph::GraphView;
 
 /// Degree assortativity coefficient `r` of a graph.
 ///
@@ -41,18 +41,19 @@ use agmdp_graph::AttributedGraph;
 /// assert!((degree_assortativity(&star) - (-1.0)).abs() < 1e-12);
 /// ```
 #[must_use]
-pub fn degree_assortativity(graph: &AttributedGraph) -> f64 {
+pub fn degree_assortativity<G: GraphView>(graph: &G) -> f64 {
     let m = graph.num_edges();
     if m == 0 {
         return 0.0;
     }
-    let degrees = graph.degrees();
     let mut sum_prod = 0.0; // Σ j·k
     let mut sum_half = 0.0; // Σ ½(j + k)
     let mut sum_half_sq = 0.0; // Σ ½(j² + k²)
     for e in graph.edges() {
-        let j = degrees[e.u as usize] as f64;
-        let k = degrees[e.v as usize] as f64;
+        // Endpoint degrees are O(1) lookups on both representations, so no
+        // degree vector is materialised.
+        let j = graph.degree(e.u) as f64;
+        let k = graph.degree(e.v) as f64;
         sum_prod += j * k;
         sum_half += 0.5 * (j + k);
         sum_half_sq += 0.5 * (j * j + k * k);
@@ -70,6 +71,7 @@ pub fn degree_assortativity(graph: &AttributedGraph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agmdp_graph::AttributedGraph;
 
     fn star(leaves: usize) -> AttributedGraph {
         let mut g = AttributedGraph::unattributed(leaves + 1);

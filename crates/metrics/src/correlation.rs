@@ -17,7 +17,7 @@
 //! * [`correlation_distance`] — the mean absolute difference between two
 //!   such correlation vectors (original vs synthetic).
 
-use agmdp_graph::AttributedGraph;
+use agmdp_graph::GraphView;
 
 /// Pearson correlation of two equally long samples; `0.0` when either sample
 /// has zero variance (the coefficient is undefined, and "no signal" is the
@@ -47,7 +47,7 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// One binary attribute column (`0.0`/`1.0` per node).
-fn attribute_column(graph: &AttributedGraph, j: usize) -> Vec<f64> {
+fn attribute_column<G: GraphView>(graph: &G, j: usize) -> Vec<f64> {
     graph
         .nodes()
         .map(|v| {
@@ -75,7 +75,7 @@ fn attribute_column(graph: &AttributedGraph, j: usize) -> Vec<f64> {
 /// assert!((corr[0] - 1.0).abs() < 1e-12);
 /// ```
 #[must_use]
-pub fn attribute_attribute_correlations(graph: &AttributedGraph) -> Vec<f64> {
+pub fn attribute_attribute_correlations<G: GraphView>(graph: &G) -> Vec<f64> {
     let w = graph.schema().width();
     let columns: Vec<Vec<f64>> = (0..w).map(|j| attribute_column(graph, j)).collect();
     let mut out = Vec::with_capacity(w.saturating_sub(1) * w / 2);
@@ -105,9 +105,9 @@ pub fn attribute_attribute_correlations(graph: &AttributedGraph) -> Vec<f64> {
 /// assert!((corr[0] - 1.0).abs() < 1e-12);
 /// ```
 #[must_use]
-pub fn attribute_degree_correlations(graph: &AttributedGraph) -> Vec<f64> {
+pub fn attribute_degree_correlations<G: GraphView>(graph: &G) -> Vec<f64> {
     let w = graph.schema().width();
-    let degrees: Vec<f64> = graph.degrees().into_iter().map(|d| d as f64).collect();
+    let degrees: Vec<f64> = graph.degree_iter().map(|d| d as f64).collect();
     (0..w)
         .map(|j| pearson(&attribute_column(graph, j), &degrees))
         .collect()
@@ -135,7 +135,7 @@ pub fn correlation_distance(truth: &[f64], measured: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agmdp_graph::AttributeSchema;
+    use agmdp_graph::{AttributeSchema, AttributedGraph};
 
     #[test]
     fn identical_bits_give_phi_one() {

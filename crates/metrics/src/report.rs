@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use agmdp_graph::clustering::{average_local_clustering, global_clustering};
 use agmdp_graph::degree::DegreeSequence;
 use agmdp_graph::triangles::count_triangles;
-use agmdp_graph::AttributedGraph;
+use agmdp_graph::GraphView;
 
 use crate::distance::{hellinger_distance, ks_statistic, relative_error};
 
@@ -39,8 +39,12 @@ pub struct GraphComparison {
 
 impl GraphComparison {
     /// Compares `synthetic` against `original`.
+    ///
+    /// Both sides accept any [`GraphView`], and the two representations may
+    /// be mixed (e.g. a frozen original against a freshly generated mutable
+    /// synthetic graph); the result is bit-identical either way.
     #[must_use]
-    pub fn compare(original: &AttributedGraph, synthetic: &AttributedGraph) -> Self {
+    pub fn compare<G1: GraphView, G2: GraphView>(original: &G1, synthetic: &G2) -> Self {
         let dist_orig = DegreeSequence::from_graph(original).distribution();
         let dist_synth = DegreeSequence::from_graph(synthetic).distribution();
         let tri_orig = count_triangles(original) as f64;
@@ -95,7 +99,7 @@ impl GraphComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agmdp_graph::AttributeSchema;
+    use agmdp_graph::{AttributeSchema, AttributedGraph};
 
     fn ring(n: usize) -> AttributedGraph {
         let mut g = AttributedGraph::new(n, AttributeSchema::new(0));
@@ -139,6 +143,17 @@ mod tests {
         // K6 has clustering 1, ring has 0 → relative error 1.
         assert!((r.avg_clustering_re - 1.0).abs() < 1e-12);
         assert!((r.global_clustering_re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_is_bit_identical_across_representations() {
+        let orig = complete(6);
+        let synth = ring(6);
+        let mutable = GraphComparison::compare(&orig, &synth);
+        let frozen = GraphComparison::compare(&orig.freeze(), &synth.freeze());
+        let mixed = GraphComparison::compare(&orig.freeze(), &synth);
+        assert_eq!(mutable, frozen);
+        assert_eq!(mutable, mixed);
     }
 
     #[test]

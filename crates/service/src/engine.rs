@@ -28,7 +28,7 @@ use agmdp_core::workflow::{
     StructuralModelKind,
 };
 use agmdp_graph::triangles::count_triangles;
-use agmdp_graph::{io, AttributedGraph};
+use agmdp_graph::{io, AttributedGraph, FrozenGraph, GraphView};
 
 use agmdp_eval::{GraphProfile, UtilityReport};
 
@@ -178,7 +178,7 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    fn of(graph: &AttributedGraph) -> Self {
+    fn of<G: GraphView>(graph: &G) -> Self {
         Self {
             nodes: graph.num_nodes(),
             edges: graph.num_edges(),
@@ -288,11 +288,24 @@ impl SynthesisEngine {
     }
 
     /// Registers a dataset with its total ε budget (registry + ledger in one
-    /// step; both sides are idempotent for the restart path).
+    /// step; both sides are idempotent for the restart path). The graph is
+    /// frozen into the registry's CSR snapshot form.
     pub fn register_dataset(
         &self,
         name: &str,
         graph: AttributedGraph,
+        total_epsilon: f64,
+    ) -> Result<DatasetSummary, ServiceError> {
+        self.register_frozen_dataset(name, graph.freeze(), total_epsilon)
+    }
+
+    /// Registers an already-frozen dataset (the binary `.agb` registration
+    /// path, which deserialises straight into CSR form) with its total ε
+    /// budget.
+    pub fn register_frozen_dataset(
+        &self,
+        name: &str,
+        graph: FrozenGraph,
         total_epsilon: f64,
     ) -> Result<DatasetSummary, ServiceError> {
         if graph.num_nodes() == 0 || graph.num_edges() == 0 {
@@ -316,7 +329,7 @@ impl SynthesisEngine {
             }
         }
         let was_registered = self.registry.get(name).is_ok();
-        let arc = self.registry.register(name, graph)?;
+        let arc = self.registry.register_frozen(name, graph)?;
         if let Err(e) = self.ledger.register(name, total_epsilon) {
             // Roll back a *newly* inserted graph (e.g. the journal append
             // failed) so the registry and ledger never disagree about which
@@ -434,7 +447,11 @@ impl SynthesisEngine {
         if let Some(params) = &admission.params {
             return Ok(Arc::clone(params));
         }
-        let graph = self.registry.get(&request.dataset)?;
+        // The registry stores the frozen snapshot; the DP learners need the
+        // mutable build-phase form (edge truncation clones and rewires), so
+        // a cold fit pays one O(n + m) thaw. Thawing reconstructs a graph
+        // equal to the registered original, so the fit is unchanged.
+        let graph = self.registry.get(&request.dataset)?.thaw();
         let mut learn_rng = StdRng::seed_from_u64(request.seed);
         let params = Arc::new(
             learn_parameters(&graph, &request.config(), &mut learn_rng)
@@ -462,9 +479,11 @@ impl SynthesisEngine {
         }
         // Compute outside the lock (profiling a large graph is the expensive
         // part); a concurrent duplicate computation is harmless — profiles
-        // of the same graph are identical, and the first insert wins.
+        // of the same graph are identical, and the first insert wins. The
+        // registry hands out the frozen snapshot, so the profile's
+        // whole-graph traversals run on the CSR arrays.
         let graph = self.registry.get(dataset)?;
-        let profile = Arc::new(GraphProfile::of(&graph));
+        let profile = Arc::new(GraphProfile::of(graph.as_ref()));
         let mut profiles = self.profiles.lock().expect("profile cache lock poisoned");
         Ok(Arc::clone(
             profiles
@@ -485,6 +504,10 @@ impl SynthesisEngine {
         let mut sample_rng = StdRng::seed_from_u64(request.seed ^ SAMPLING_SEED_SALT);
         let synthetic = synthesize_from_parameters(&params, &config, &mut sample_rng)
             .map_err(|e| ServiceError::Synthesis(e.to_string()))?;
+        // The release is now read-only: freeze it once and let the stats,
+        // the utility scoring and the optional serialisation all traverse
+        // the CSR snapshot (identical values, flat-array locality).
+        let frozen = synthetic.freeze();
         // Score the release against the original (ε-free post-processing)
         // and fold it into the per-dataset utility aggregate that
         // `GET /evaluate` reports. The original's half of every metric is
@@ -492,16 +515,16 @@ impl SynthesisEngine {
         // particular the ε-free fit-cache hits — only pay for the
         // synthetic side.
         let profile = self.dataset_profile(&request.dataset)?;
-        let utility = UtilityReport::against(&profile, &synthetic);
+        let utility = UtilityReport::against(&profile, &frozen);
         self.evaluations.record(&request.dataset, &utility);
         Ok(SynthesisOutcome {
             dataset: request.dataset.clone(),
             epsilon: request.epsilon,
             epsilon_spent: admission.epsilon_spent,
             cache_hit,
-            stats: GraphStats::of(&synthetic),
+            stats: GraphStats::of(&frozen),
             utility,
-            graph_text: request.return_graph.then(|| io::to_text(&synthetic)),
+            graph_text: request.return_graph.then(|| io::to_text(&frozen)),
         })
     }
 

@@ -1,14 +1,17 @@
 //! The in-memory dataset registry.
 //!
-//! Maps dataset names to loaded [`AttributedGraph`]s. Graphs are held behind
-//! `Arc` so synthesis jobs can read them concurrently without cloning; the
-//! registry itself is never persisted (re-register after a restart — the
-//! *budget* is what must survive, and that lives in the ledger).
+//! Maps dataset names to **frozen** graphs: a dataset is registered once and
+//! then only ever read (parameter fits, metric profiles, `GET /evaluate`),
+//! which is exactly the [`FrozenGraph`] CSR snapshot's contract. Snapshots
+//! are held behind `Arc` so synthesis jobs can read them concurrently
+//! without cloning; the registry itself is never persisted (re-register
+//! after a restart — the *budget* is what must survive, and that lives in
+//! the ledger).
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use agmdp_graph::AttributedGraph;
+use agmdp_graph::{AttributedGraph, FrozenGraph};
 
 use crate::error::{validate_dataset_name, ServiceError};
 
@@ -28,7 +31,7 @@ pub struct DatasetSummary {
 /// A thread-safe name → graph map.
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
-    graphs: Mutex<BTreeMap<String, Arc<AttributedGraph>>>,
+    graphs: Mutex<BTreeMap<String, Arc<FrozenGraph>>>,
 }
 
 impl DatasetRegistry {
@@ -38,7 +41,8 @@ impl DatasetRegistry {
         Self::default()
     }
 
-    /// Registers a graph under `name`.
+    /// Registers a graph under `name`, freezing it into the registry's CSR
+    /// snapshot form.
     ///
     /// Re-registering the same name is idempotent when the graph is
     /// identical (the restart path); different data is a conflict.
@@ -46,7 +50,18 @@ impl DatasetRegistry {
         &self,
         name: &str,
         graph: AttributedGraph,
-    ) -> Result<Arc<AttributedGraph>, ServiceError> {
+    ) -> Result<Arc<FrozenGraph>, ServiceError> {
+        self.register_frozen(name, graph.freeze())
+    }
+
+    /// Registers an already-frozen snapshot under `name` (the binary-file
+    /// registration path deserialises straight into CSR form, so no thaw /
+    /// re-freeze round-trip is paid).
+    pub fn register_frozen(
+        &self,
+        name: &str,
+        graph: FrozenGraph,
+    ) -> Result<Arc<FrozenGraph>, ServiceError> {
         validate_dataset_name(name)?;
         let mut graphs = self.graphs.lock().expect("registry lock poisoned");
         if let Some(existing) = graphs.get(name) {
@@ -70,8 +85,8 @@ impl DatasetRegistry {
             .remove(name);
     }
 
-    /// Looks up a dataset.
-    pub fn get(&self, name: &str) -> Result<Arc<AttributedGraph>, ServiceError> {
+    /// Looks up a dataset's frozen snapshot.
+    pub fn get(&self, name: &str) -> Result<Arc<FrozenGraph>, ServiceError> {
         self.graphs
             .lock()
             .expect("registry lock poisoned")
@@ -107,7 +122,8 @@ mod tests {
         let reg = DatasetRegistry::new();
         let g = toy_social_graph();
         reg.register("toy", g.clone()).unwrap();
-        assert_eq!(*reg.get("toy").unwrap(), g);
+        assert_eq!(*reg.get("toy").unwrap(), g.freeze());
+        assert_eq!(reg.get("toy").unwrap().thaw(), g);
         assert!(matches!(
             reg.get("other"),
             Err(ServiceError::UnknownDataset(_))

@@ -375,23 +375,32 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
         json::get(&parsed, "path").and_then(json::as_str),
     ) {
         (Some(text), None) => match io::from_text(text) {
-            Ok(g) => g,
+            Ok(g) => g.freeze(),
             Err(e) => return error_body(400, "invalid_request", &format!("bad graph: {e}")),
         },
-        (None, Some(path)) => match io::read_file(path) {
+        // Server-side files load in either interchange format (text or
+        // binary `.agb`), auto-detected from the leading bytes; binary files
+        // deserialise straight into the registry's frozen CSR form.
+        (None, Some(path)) => match io::load_frozen_file(path) {
             Ok(g) => g,
             // Parse errors quote tokens of the file; for server-side paths
             // that would let a remote client probe arbitrary readable files,
-            // so only I/O errors (no content) are echoed.
-            Err(GraphError::Format(_)) => {
+            // so only I/O errors (no content) are echoed. Every other
+            // malformation — text parse, binary-format and structural CSR
+            // errors alike — collapses into one uniform message.
+            Err(GraphError::Io(e)) => {
+                return error_body(
+                    400,
+                    "invalid_request",
+                    &format!("cannot load {path}: i/o error: {e}"),
+                )
+            }
+            Err(_) => {
                 return error_body(
                     400,
                     "invalid_request",
                     &format!("'{path}' is not a valid graph file"),
                 )
-            }
-            Err(e) => {
-                return error_body(400, "invalid_request", &format!("cannot load {path}: {e}"))
             }
         },
         _ => {
@@ -402,7 +411,7 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
             )
         }
     };
-    match engine.register_dataset(name, graph, budget) {
+    match engine.register_frozen_dataset(name, graph, budget) {
         Ok(summary) => {
             let status = engine.ledger().status(name);
             let mut entries = vec![

@@ -67,9 +67,11 @@ fn main() {
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
         "c", "input", "FCL", "TCL", "TriCycLe"
     );
+    // The graphs are done mutating: freeze each one so the clustering sweep
+    // runs on the CSR snapshot (identical values, flat-array traversal).
     let curves: Vec<Vec<agmdp::metrics::CcdfPoint>> = [&input, &fcl, &tcl, &tricycle]
         .iter()
-        .map(|g| ccdf_points(&local_clustering_coefficients(g)))
+        .map(|g| ccdf_points(&local_clustering_coefficients(&g.freeze())))
         .collect();
     for c in [0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
         print!("{c:<8.2}");

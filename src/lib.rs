@@ -69,7 +69,7 @@ pub mod prelude {
     pub use agmdp_core::{ThetaF, ThetaM, ThetaX};
     pub use agmdp_datasets::{generate_dataset, toy_social_graph, DatasetSpec};
     pub use agmdp_eval::{DatasetRef, EpsilonSpec, EvalPlan, EvalReport, UtilityReport};
-    pub use agmdp_graph::{AttributeSchema, AttributedGraph, GraphBuilder};
+    pub use agmdp_graph::{AttributeSchema, AttributedGraph, FrozenGraph, GraphBuilder, GraphView};
     pub use agmdp_metrics::GraphComparison;
     pub use agmdp_models::{ChungLuModel, StructuralModel, TclModel, TriCycLeModel};
     pub use agmdp_privacy::{BudgetSplit, LaplaceMechanism, PrivacyBudget};

@@ -3,10 +3,12 @@
 //! Subcommands:
 //!
 //! * `stats <graph>` — print the structural and attribute statistics of a
-//!   graph in the text interchange format.
+//!   graph in either interchange format (text or binary, auto-detected).
 //! * `synthesize --input <graph> --output <graph> --epsilon <ε> [options]` —
 //!   run the end-to-end AGM-DP pipeline and write a publishable synthetic
 //!   graph.
+//! * `convert --input <graph> --output <graph> [--to text|binary]` — convert
+//!   between the text and binary (`.agb`) graph formats, either direction.
 //! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
 //!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
 //! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]` — run
@@ -32,7 +34,7 @@ use agmdp::eval::EvalPlan;
 use agmdp::graph::clustering::{average_local_clustering, global_clustering};
 use agmdp::graph::components::connected_components;
 use agmdp::graph::triangles::count_triangles;
-use agmdp::graph::{io, AttributedGraph};
+use agmdp::graph::{io, GraphView};
 use agmdp::metrics::GraphComparison;
 use agmdp::service::{self, ServiceConfig};
 
@@ -47,6 +49,7 @@ USAGE:
                      [--model fcl|tricycle] [--method truncation|smooth|sample-aggregate|naive]
                      [--k <truncation-k>] [--iterations <n>] [--seed <s>] [--non-private]
                      [--threads <n>]
+    agmdp convert    --input <graph> --output <graph> [--to text|binary]
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
@@ -54,10 +57,17 @@ USAGE:
                      [--repetitions <n>] [--threads <n>] [--seed <s>]
     agmdp help
 
-The graph file format is the line-oriented text format documented in
-`agmdp::graph::io` (nodes/attr/edge records). `serve` exposes the JSON
-endpoints GET /healthz, GET /datasets, POST /datasets, POST /synthesize,
-GET /jobs/:id, GET /budget/:dataset and GET /evaluate.
+Graph files use either interchange format documented in `agmdp::graph::io`:
+the line-oriented text format (nodes/attr/edge records) or the binary `.agb`
+container (versioned little-endian CSR arrays with a trailing checksum).
+Every file-reading command auto-detects the format; writers pick the format
+from the output extension (`.agb` -> binary) unless `convert --to`
+overrides it. `convert` round-trips losslessly: text -> binary -> text
+reproduces agmdp-written text files byte for byte (hand-authored files
+come back in canonical form with identical content). `serve` exposes the
+JSON endpoints GET /healthz, GET /datasets, POST /datasets,
+POST /synthesize, GET /jobs/:id, GET /budget/:dataset and GET /evaluate;
+POST /datasets 'path' registrations accept both formats.
 
 `synthesize --threads <n>` runs the sampling phase on n worker threads; the
 output graph is bit-identical to --threads 1 at the same seed (parameter
@@ -77,6 +87,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(&args[1..]),
         Some("synthesize") => cmd_synthesize(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("generate-dataset") => cmd_generate_dataset(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
@@ -95,7 +106,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_stats(graph: &AttributedGraph) {
+fn print_stats<G: GraphView>(graph: &G) {
     let comps = connected_components(graph);
     println!("nodes               : {}", graph.num_nodes());
     println!("edges               : {}", graph.num_edges());
@@ -123,7 +134,9 @@ fn round3(v: &[f64]) -> Vec<f64> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("stats requires a graph file argument")?;
-    let graph = io::read_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    // Auto-detects text vs binary and yields the frozen CSR snapshot the
+    // read-only statistics run on.
+    let graph = io::load_frozen_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
     println!("graph: {path}");
     print_stats(&graph);
     Ok(())
@@ -168,7 +181,9 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     let seed: u64 = flags.get_parsed_or("--seed", "an integer", 2016)?;
     let threads: usize = flags.get_parsed_or("--threads", "a positive integer", 1)?;
 
-    let graph = io::read_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
+    // Auto-detects the text or binary interchange format from the file's
+    // leading bytes; synthesis needs the mutable build-phase representation.
+    let graph = io::load_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
     let config = AgmConfig {
         privacy,
         model,
@@ -180,13 +195,17 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let synthetic =
         synthesize(&graph, &config, &mut rng).map_err(|e| format!("synthesis failed: {e}"))?;
-    io::write_file(&synthetic, &output).map_err(|e| format!("failed to write {output}: {e}"))?;
+    write_graph_file(&synthetic, &output, None)?;
 
+    // Both graphs are done mutating: freeze once and run the statistics and
+    // the fidelity report on the CSR snapshots.
+    let frozen_input = graph.freeze();
+    let frozen_synthetic = synthetic.freeze();
     println!("input  ({input}):");
-    print_stats(&graph);
+    print_stats(&frozen_input);
     println!("\nsynthetic ({output}):");
-    print_stats(&synthetic);
-    let report = GraphComparison::compare(&graph, &synthetic);
+    print_stats(&frozen_synthetic);
+    let report = GraphComparison::compare(&frozen_input, &frozen_synthetic);
     println!("\nfidelity: KS(degree) = {:.3}, H(degree) = {:.3}, triangle RE = {:.3}, clustering RE = {:.3}, m RE = {:.4}",
         report.ks_degree,
         report.hellinger_degree,
@@ -198,6 +217,45 @@ fn cmd_synthesize(args: &[String]) -> Result<(), String> {
         Privacy::NonPrivate => println!("privacy: non-private (exact parameters)"),
         Privacy::Dp { epsilon } => println!("privacy: {epsilon}-differential privacy"),
     }
+    Ok(())
+}
+
+/// Writes `g` to `path` in the text or binary interchange format.
+///
+/// `forced` is the `--to text|binary` override; without it the format is
+/// inferred from the output extension (`.agb` → binary, anything else →
+/// text).
+fn write_graph_file<G: GraphView>(g: &G, path: &str, forced: Option<&str>) -> Result<(), String> {
+    let binary = match forced {
+        Some("binary") => true,
+        Some("text") => false,
+        Some(other) => return Err(format!("--to must be 'text' or 'binary', got '{other}'")),
+        None => std::path::Path::new(path)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case(io::BINARY_EXTENSION)),
+    };
+    if binary {
+        io::write_binary_file(g, path).map_err(|e| format!("failed to write {path}: {e}"))
+    } else {
+        io::write_file(g, path).map_err(|e| format!("failed to write {path}: {e}"))
+    }
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = args::parse(args, &["--input", "--output", "--to"], &[])?;
+    let input = flags.require("--input", "<graph>")?.to_string();
+    let output = flags.require("--output", "<graph>")?.to_string();
+    let to = flags.get("--to");
+    // Load in either format (auto-detected) straight into the CSR snapshot —
+    // conversion never mutates, so the frozen form serialises both targets.
+    let graph = io::load_frozen_file(&input).map_err(|e| format!("failed to read {input}: {e}"))?;
+    write_graph_file(&graph, &output, to)?;
+    println!(
+        "converted {input} -> {output} ({} nodes, {} edges, width {})",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.schema().width()
+    );
     Ok(())
 }
 
@@ -217,7 +275,7 @@ fn cmd_generate_dataset(args: &[String]) -> Result<(), String> {
     .scaled(scale);
     let graph =
         generate_dataset(&spec, seed).map_err(|e| format!("dataset generation failed: {e}"))?;
-    io::write_file(&graph, &output).map_err(|e| format!("failed to write {output}: {e}"))?;
+    write_graph_file(&graph, &output, None)?;
     println!(
         "wrote {} ({} nodes, {} edges) to {output}",
         spec.name,
