@@ -1,0 +1,199 @@
+//! The inline waiver grammar.
+//!
+//! A finding is silenced by a line comment of the form
+//!
+//! ```text
+//! x.lock().expect("...");  // agmdp: allow(panic-freedom, reason = "lock poisoning is fatal by design")
+//! ```
+//!
+//! either trailing the offending line or standing alone on the line directly
+//! above it. The `reason` is mandatory: a waiver without one is itself a
+//! finding (`waiver/missing-reason`), as are waivers naming an unknown lint
+//! (`waiver/unknown-lint`), malformed waivers (`waiver/malformed`) and
+//! waivers that no longer match anything (`waiver/unused`) — so stale or
+//! sloppy exemptions can never accumulate silently. Waiver findings are
+//! never themselves waivable.
+//!
+//! Only comments whose text *starts* with the `agmdp:` marker are parsed;
+//! prose that merely mentions the syntax mid-sentence is ignored.
+
+use crate::report::LintFamily;
+
+/// One parsed `agmdp: allow(...)` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// The lint family it silences.
+    pub family: LintFamily,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A waiver comment that could not be honored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverError {
+    /// 1-based line of the broken waiver.
+    pub line: usize,
+    /// `missing-reason`, `unknown-lint` or `malformed`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Scans comment texts (`(line, text)` from [`crate::strip::prepare`]) for
+/// waivers. Returns the valid waivers and the broken ones.
+pub fn parse_waivers(comments: &[(usize, String)]) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for (line, text) in comments {
+        // Trim doc-comment sigils (`/`, `!`) and whitespace; only a comment
+        // that then *starts* with the marker is a waiver attempt.
+        let text = text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("agmdp:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((family, reason)) => match reason {
+                Some(reason) if !reason.trim().is_empty() => waivers.push(Waiver {
+                    line: *line,
+                    family,
+                    reason,
+                }),
+                _ => errors.push(WaiverError {
+                    line: *line,
+                    rule: "missing-reason",
+                    message: format!(
+                        "waiver for `{}` has no reason — write `agmdp: allow({}, reason = \"...\")`",
+                        family.name(),
+                        family.name()
+                    ),
+                }),
+            },
+            Err(error) => errors.push(WaiverError {
+                line: *line,
+                rule: error.0,
+                message: error.1,
+            }),
+        }
+    }
+    (waivers, errors)
+}
+
+/// Parses `allow(<family>[, reason = "..."])`; the caller has consumed the
+/// `agmdp:` marker.
+fn parse_allow(text: &str) -> Result<(LintFamily, Option<String>), (&'static str, String)> {
+    let inner = text
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .ok_or_else(|| {
+            (
+                "malformed",
+                format!("cannot parse waiver `agmdp:{text}` — expected `agmdp: allow(<lint>, reason = \"...\")`"),
+            )
+        })?;
+    let name_end = inner
+        .find([',', ')'])
+        .ok_or_else(|| ("malformed", "unterminated `allow(` in waiver".to_string()))?;
+    let name = inner[..name_end].trim();
+    let family = LintFamily::from_name(name).ok_or_else(|| {
+        (
+            "unknown-lint",
+            format!(
+                "unknown lint `{name}` in waiver (expected one of: determinism, epsilon-flow, panic-freedom, hygiene)"
+            ),
+        )
+    })?;
+    let rest = inner[name_end..].trim_start();
+    if let Some(rest) = rest.strip_prefix(',') {
+        let rest = rest.trim_start();
+        let value = rest
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|t| t.strip_prefix('='))
+            .map(str::trim_start)
+            .ok_or_else(|| {
+                (
+                    "malformed",
+                    "expected `reason = \"...\"` after the lint name".to_string(),
+                )
+            })?;
+        let value = value.strip_prefix('"').ok_or_else(|| {
+            (
+                "malformed",
+                "the waiver reason must be a double-quoted string".to_string(),
+            )
+        })?;
+        let close = value.rfind('"').ok_or_else(|| {
+            (
+                "malformed",
+                "unterminated reason string in waiver".to_string(),
+            )
+        })?;
+        Ok((family, Some(value[..close].to_string())))
+    } else {
+        Ok((family, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> (Vec<Waiver>, Vec<WaiverError>) {
+        parse_waivers(&[(7, text.to_string())])
+    }
+
+    #[test]
+    fn parses_a_full_waiver() {
+        let (waivers, errors) = one(" agmdp: allow(panic-freedom, reason = \"lock poisoning\")");
+        assert!(errors.is_empty());
+        assert_eq!(
+            waivers,
+            vec![Waiver {
+                line: 7,
+                family: LintFamily::PanicFreedom,
+                reason: "lock poisoning".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (waivers, errors) = one(" agmdp: allow(determinism)");
+        assert!(waivers.is_empty());
+        assert_eq!(errors[0].rule, "missing-reason");
+        let (waivers, errors) = one(" agmdp: allow(determinism, reason = \"\")");
+        assert!(waivers.is_empty());
+        assert_eq!(errors[0].rule, "missing-reason");
+    }
+
+    #[test]
+    fn unknown_lint_and_malformed_are_errors() {
+        assert_eq!(
+            one(" agmdp: allow(speed, reason = \"x\")").1[0].rule,
+            "unknown-lint"
+        );
+        assert_eq!(one(" agmdp: allow panic-freedom").1[0].rule, "malformed");
+        assert_eq!(
+            one(" agmdp: allow(hygiene, because = \"x\")").1[0].rule,
+            "malformed"
+        );
+        assert_eq!(
+            one(" agmdp: allow(hygiene, reason = unquoted)").1[0].rule,
+            "malformed"
+        );
+    }
+
+    #[test]
+    fn prose_mentions_are_ignored() {
+        let (waivers, errors) =
+            one(" the syntax is `agmdp: allow(hygiene, reason = \"...\")`, see docs");
+        assert!(waivers.is_empty() && errors.is_empty());
+        // Doc-comment sigils are trimmed before the marker check.
+        let (waivers, errors) = one("/ agmdp: allow(hygiene, reason = \"doc-comment waiver\")");
+        assert_eq!(waivers.len(), 1);
+        assert!(errors.is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: every determinism rule fires (linted as crates/models/src/fixture.rs).
+use std::collections::HashMap;
+
+pub fn skewed_sample() -> u64 {
+    let mut rng = rand::thread_rng();
+    let started = std::time::Instant::now();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(rng.next_u64(), started.elapsed().as_nanos() as u64);
+    counts.len() as u64
+}

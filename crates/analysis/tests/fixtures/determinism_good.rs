@@ -1,0 +1,10 @@
+//! Fixture: the deterministic idiom — a seeded RNG derived per chunk, and
+//! ordered containers (linted as crates/models/src/fixture.rs).
+use std::collections::BTreeMap;
+
+pub fn chunk_sample(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(derive_chunk_seed(seed, 0));
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    counts.insert(rng.next_u64(), 1);
+    counts.len() as u64
+}

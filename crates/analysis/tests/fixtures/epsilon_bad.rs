@@ -1,0 +1,7 @@
+//! Fixture: noise sampled outside the privacy boundary, plus a sensitive
+//! import into `models` (linted as crates/models/src/fixture.rs).
+use agmdp_datasets::load_graph;
+
+pub fn leak(rng: &mut StdRng, scale: f64) -> f64 {
+    sample_laplace(rng, scale)
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same noise primitive is legal inside the privacy boundary
+//! (linted as crates/privacy/src/fixture.rs).
+
+pub fn mechanism(rng: &mut StdRng, scale: f64) -> f64 {
+    sample_laplace(rng, scale)
+}

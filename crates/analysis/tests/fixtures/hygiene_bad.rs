@@ -1,0 +1,7 @@
+//! Fixture: debug output left in library code (linted as
+//! crates/graph/src/fixture.rs).
+
+pub fn check(x: u64) -> u64 {
+    println!("checking {x}");
+    dbg!(x)
+}

@@ -1,0 +1,7 @@
+//! Fixture: diagnostics on stderr are allowed everywhere (linted as
+//! crates/graph/src/fixture.rs).
+
+pub fn check(x: u64) -> u64 {
+    eprintln!("checking {x}");
+    x
+}

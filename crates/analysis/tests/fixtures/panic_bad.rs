@@ -1,0 +1,11 @@
+//! Fixture: every panic-freedom rule fires on the request path (linted as
+//! crates/service/src/server.rs).
+
+pub fn route(path: &str, body: &[u8]) -> u8 {
+    let id = path.strip_prefix("/jobs/").unwrap();
+    let first = body[0];
+    if first == 0 {
+        panic!("empty body for {id}");
+    }
+    parse(body).expect("parse")
+}

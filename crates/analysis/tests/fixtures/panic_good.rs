@@ -1,0 +1,11 @@
+//! Fixture: the request path degrades with typed errors instead of
+//! panicking (linted as crates/service/src/server.rs).
+
+pub fn route(path: &str, body: &[u8]) -> Result<u8, Error> {
+    let id = path.strip_prefix("/jobs/").unwrap_or_default();
+    let first = body.first().copied().ok_or(Error::Empty)?;
+    if first == 0 {
+        return Err(Error::Empty);
+    }
+    parse(body, id).map_err(Error::Parse)
+}

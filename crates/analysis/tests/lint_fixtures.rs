@@ -1,0 +1,154 @@
+//! Fixture corpus for the four lint families and the waiver machinery.
+//!
+//! Each family has a firing fixture and a clean fixture; the JSON snapshot
+//! locks the exact report (order, columns, escaping) the CI job diffs.
+//! Fixtures live under `tests/fixtures/`, which the workspace walker never
+//! scans — they are linted here with virtual workspace paths.
+
+use agmdp_analysis::{lint_source, Finding, LintFamily, LintReport};
+
+const DETERMINISM_BAD: &str = include_str!("fixtures/determinism_bad.rs");
+const DETERMINISM_GOOD: &str = include_str!("fixtures/determinism_good.rs");
+const EPSILON_BAD: &str = include_str!("fixtures/epsilon_bad.rs");
+const EPSILON_GOOD: &str = include_str!("fixtures/epsilon_good.rs");
+const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
+const PANIC_GOOD: &str = include_str!("fixtures/panic_good.rs");
+const HYGIENE_BAD: &str = include_str!("fixtures/hygiene_bad.rs");
+const HYGIENE_GOOD: &str = include_str!("fixtures/hygiene_good.rs");
+const WAIVER_GOOD: &str = include_str!("fixtures/waiver_good.rs");
+const WAIVER_MISSING_REASON: &str = include_str!("fixtures/waiver_missing_reason.rs");
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn determinism_fires_on_bad_and_not_on_good() {
+    let fired = lint_source("crates/models/src/fixture.rs", DETERMINISM_BAD);
+    assert!(fired.iter().all(|f| f.family == LintFamily::Determinism));
+    let fired_rules = rules(&fired);
+    assert!(fired_rules.contains(&"ambient-rng"));
+    assert!(fired_rules.contains(&"wall-clock"));
+    assert!(fired_rules.contains(&"hash-container"));
+    assert!(lint_source("crates/models/src/fixture.rs", DETERMINISM_GOOD).is_empty());
+}
+
+#[test]
+fn epsilon_flow_fires_on_bad_and_not_inside_the_boundary() {
+    let fired = lint_source("crates/models/src/fixture.rs", EPSILON_BAD);
+    assert!(fired.iter().all(|f| f.family == LintFamily::EpsilonFlow));
+    let fired_rules = rules(&fired);
+    assert!(fired_rules.contains(&"noise-primitive"));
+    assert!(fired_rules.contains(&"sensitive-import"));
+    // The identical call is legal inside the privacy crate.
+    assert!(lint_source("crates/privacy/src/fixture.rs", EPSILON_GOOD).is_empty());
+}
+
+#[test]
+fn panic_freedom_fires_on_bad_and_not_on_good() {
+    let fired = lint_source("crates/service/src/server.rs", PANIC_BAD);
+    assert!(fired.iter().all(|f| f.family == LintFamily::PanicFreedom));
+    assert_eq!(
+        rules(&fired),
+        vec!["unwrap", "slice-index", "panic-macro", "expect"]
+    );
+    assert!(lint_source("crates/service/src/server.rs", PANIC_GOOD).is_empty());
+    // The same code outside the request path is not panic-freedom scoped.
+    assert!(lint_source("crates/service/src/cache.rs", PANIC_BAD).is_empty());
+}
+
+#[test]
+fn hygiene_fires_on_bad_and_not_on_good() {
+    let fired = lint_source("crates/graph/src/fixture.rs", HYGIENE_BAD);
+    assert!(fired.iter().all(|f| f.family == LintFamily::Hygiene));
+    assert_eq!(rules(&fired), vec!["stdout-print", "debug-print"]);
+    assert!(lint_source("crates/graph/src/fixture.rs", HYGIENE_GOOD).is_empty());
+    // The CLI binary is allowed to print.
+    assert!(lint_source("src/main.rs", HYGIENE_BAD).is_empty());
+}
+
+#[test]
+fn waivers_with_reasons_silence_both_positions() {
+    let fired = lint_source("crates/service/src/engine.rs", WAIVER_GOOD);
+    assert_eq!(fired.len(), 2, "both unwraps found: {fired:?}");
+    assert!(fired.iter().all(|f| f.waived.is_some()));
+    assert_eq!(
+        fired[0].waived.as_deref(),
+        Some("fixture: the lock holder cannot panic")
+    );
+    assert_eq!(
+        fired[1].waived.as_deref(),
+        Some("fixture: the sender outlives the pool")
+    );
+    let mut report = LintReport {
+        files_scanned: 1,
+        findings: fired,
+    };
+    report.finalize();
+    assert_eq!(report.unwaived_count(), 0, "fully waived file is clean");
+}
+
+#[test]
+fn waiver_without_reason_is_rejected_and_silences_nothing() {
+    let fired = lint_source("crates/service/src/engine.rs", WAIVER_MISSING_REASON);
+    let missing: Vec<_> = fired
+        .iter()
+        .filter(|f| f.family == LintFamily::Waiver && f.rule == "missing-reason")
+        .collect();
+    assert_eq!(missing.len(), 1, "{fired:?}");
+    let unwrap = fired
+        .iter()
+        .find(|f| f.rule == "unwrap")
+        .expect("the unwrap still fires");
+    assert!(
+        unwrap.waived.is_none(),
+        "a reasonless waiver must not silence the finding"
+    );
+}
+
+#[test]
+fn json_report_matches_snapshot() {
+    let mut report = LintReport::default();
+    for (path, source) in [
+        ("crates/models/src/determinism_bad.rs", DETERMINISM_BAD),
+        ("crates/models/src/epsilon_bad.rs", EPSILON_BAD),
+        ("crates/service/src/server.rs", PANIC_BAD),
+        ("crates/graph/src/hygiene_bad.rs", HYGIENE_BAD),
+    ] {
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(path, source));
+    }
+    report.finalize();
+    let actual = report.to_json();
+    let expected = include_str!("fixtures/report.json");
+    if actual != expected {
+        // Leave the actual output next to the snapshot for easy diffing.
+        let out = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/report.actual.json"
+        );
+        let _ = std::fs::write(out, &actual);
+        panic!("snapshot mismatch; actual report written to {out}");
+    }
+}
+
+#[test]
+fn json_report_is_stable_across_runs_and_insertion_orders() {
+    let mut a = LintReport::default();
+    let mut b = LintReport::default();
+    let inputs = [
+        ("crates/models/src/determinism_bad.rs", DETERMINISM_BAD),
+        ("crates/service/src/server.rs", PANIC_BAD),
+    ];
+    for (path, source) in inputs {
+        a.files_scanned += 1;
+        a.findings.extend(lint_source(path, source));
+    }
+    for (path, source) in inputs.iter().rev() {
+        b.files_scanned += 1;
+        b.findings.extend(lint_source(path, source));
+    }
+    a.finalize();
+    b.finalize();
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -1,0 +1,29 @@
+//! The workspace itself must lint clean — this is the invariant the CI
+//! `analysis` job enforces, kept in the tier-1 suite too so a finding is
+//! caught by `cargo test` before a CI round-trip.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_no_unwaived_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels under the workspace root");
+    let report = agmdp_analysis::lint_workspace(root).expect("workspace sources are readable");
+    assert!(report.files_scanned > 0, "walker found no sources");
+    let unwaived: Vec<String> = report
+        .unwaived()
+        .map(|f| {
+            format!(
+                "{}:{}:{} [{}/{}] {}",
+                f.file, f.line, f.column, f.family, f.rule, f.message
+            )
+        })
+        .collect();
+    assert!(
+        unwaived.is_empty(),
+        "unwaived lint findings:\n{}",
+        unwaived.join("\n")
+    );
+}

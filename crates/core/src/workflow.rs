@@ -38,7 +38,7 @@ use crate::structural_dp::{fit_fcl_dp, fit_tricycle_dp};
 use crate::Result;
 
 /// Which structural model AGM is instantiated with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StructuralModelKind {
     /// The simple (fast) Chung-Lu model — "AGM(DP)-FCL" in the tables.
     Fcl,

@@ -248,6 +248,9 @@ where
 mod tests {
     use super::*;
     use rand::RngCore;
+    // HashSet is fine here (and invisible to `agmdp lint`, which skips test
+    // code): these sets only answer order-insensitive uniqueness questions,
+    // never drive iteration that reaches an output.
     use std::collections::HashSet;
 
     #[test]

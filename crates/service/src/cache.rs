@@ -10,7 +10,7 @@
 //! requests hit the cache, skip the DP learning step entirely and draw
 //! nothing from the ledger.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -18,7 +18,10 @@ use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_core::workflow::{LearnedParameters, Privacy, StructuralModelKind};
 
 /// Cache key: every input that influences the fitted `Θ̃` triple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` so the cache and the in-flight set can live in B-tree containers,
+/// whose iteration order is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FitKey {
     /// Dataset name.
     pub dataset: String,
@@ -79,7 +82,11 @@ pub fn method_token(method: CorrelationMethod) -> String {
 const DEFAULT_CAPACITY: usize = 256;
 
 struct CacheInner {
-    entries: HashMap<FitKey, Arc<LearnedParameters>>,
+    // BTreeMap, not HashMap: nothing iterates the entries today, but keeping
+    // the container ordered means a future debug dump or eviction-policy
+    // change cannot introduce hash-order nondeterminism (see
+    // docs/INVARIANTS.md).
+    entries: BTreeMap<FitKey, Arc<LearnedParameters>>,
     /// Insertion order for eviction (oldest at the front).
     order: VecDeque<FitKey>,
 }
@@ -126,7 +133,7 @@ impl FitCache {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(CacheInner {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 order: VecDeque::new(),
             }),
             capacity: capacity.max(1),

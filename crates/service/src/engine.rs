@@ -15,7 +15,7 @@
 //! The sampling RNG is seeded independently of the learning RNG so a cache
 //! hit reproduces byte-identical output to the cold path for the same seed.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -61,16 +61,18 @@ pub const MAX_REQUEST_THREADS: usize = 64;
 /// the fitter to publish into the cache and then ride it as a cache hit.
 #[derive(Debug, Default)]
 struct InFlight {
-    keys: Mutex<HashSet<FitKey>>,
+    keys: Mutex<BTreeSet<FitKey>>,
     done: Condvar,
 }
 
 impl InFlight {
     /// Removes `key` (idempotent) and wakes all waiters.
     fn complete(&self, key: &FitKey) {
+        // Recover from poisoning: the set only tracks which fits are in
+        // flight, so its contents stay valid even if a holder panicked.
         self.keys
             .lock()
-            .expect("in-flight lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(key);
         self.done.notify_all();
     }
@@ -404,7 +406,11 @@ impl SynthesisEngine {
     /// fitter finished (check the cache) or the wait timed out (fall through
     /// to an independent, possibly duplicate, spend: never hang admission).
     fn claim_or_wait(&self, key: &FitKey) -> Option<FitClaim> {
-        let mut keys = self.in_flight.keys.lock().expect("in-flight lock poisoned");
+        let mut keys = self
+            .in_flight
+            .keys
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut waited = Duration::ZERO;
         loop {
             if !keys.contains(key) {
@@ -421,7 +427,7 @@ impl SynthesisEngine {
                 .in_flight
                 .done
                 .wait_timeout(keys, IN_FLIGHT_WAIT_SLICE)
-                .expect("in-flight lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             keys = guard;
             waited += IN_FLIGHT_WAIT_SLICE;
             // The fitter may have published and released; if the cache now
@@ -472,7 +478,7 @@ impl SynthesisEngine {
         if let Some(profile) = self
             .profiles
             .lock()
-            .expect("profile cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(dataset)
         {
             return Ok(Arc::clone(profile));
@@ -484,7 +490,10 @@ impl SynthesisEngine {
         // whole-graph traversals run on the CSR arrays.
         let graph = self.registry.get(dataset)?;
         let profile = Arc::new(GraphProfile::of(graph.as_ref()));
-        let mut profiles = self.profiles.lock().expect("profile cache lock poisoned");
+        let mut profiles = self
+            .profiles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Ok(Arc::clone(
             profiles
                 .entry(dataset.to_string())

@@ -111,13 +111,27 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// The unconsumed input; empty once `pos` passes the end.
+    fn remaining(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
+    /// The input between `start` and the cursor, as UTF-8 text.
+    fn span(&self, start: usize) -> Result<&'a str, JsonError> {
+        let bytes = self
+            .bytes
+            .get(start..self.pos)
+            .ok_or_else(|| self.err("internal cursor out of range"))?;
+        std::str::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -144,7 +158,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self.remaining().starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -153,7 +167,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.depth += 1;
         let mut entries: Vec<(String, Value)> = Vec::new();
         self.skip_ws();
@@ -166,7 +180,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             if entries.iter().any(|(k, _)| *k == key) {
@@ -187,7 +201,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.depth += 1;
         let mut items = Vec::new();
         self.skip_ws();
@@ -213,7 +227,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -227,8 +241,9 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // The input is valid UTF-8 (it came from a &str) and the run
                 // stops only at ASCII delimiters, so the slice stays on
-                // character boundaries.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                // character boundaries; `span` still degrades to a 400 rather
+                // than trusting that.
+                out.push_str(self.span(start)?);
             }
             match self.peek() {
                 Some(b'"') => {
@@ -260,11 +275,11 @@ impl<'a> Parser<'a> {
 
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(digits).map_err(|_| self.err("non-ASCII in \\u escape"))?;
         let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
@@ -274,7 +289,7 @@ impl<'a> Parser<'a> {
         let first = self.hex4()?;
         // Surrogate pairs: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
         if (0xD800..0xDC00).contains(&first) {
-            if self.bytes[self.pos..].starts_with(b"\\u") {
+            if self.remaining().starts_with(b"\\u") {
                 self.pos += 2;
                 let second = self.hex4()?;
                 if (0xDC00..0xE000).contains(&second) {
@@ -328,7 +343,7 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = self.span(start)?;
         if !is_float {
             if let Ok(u) = text.parse::<u64>() {
                 return Ok(Value::UInt(u));

@@ -265,7 +265,11 @@ impl Drop for JobSlot {
 fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<ServerState>) {
     loop {
         let stream = {
-            let guard = receiver.lock().expect("connection queue lock poisoned");
+            // A panic elsewhere must not wedge the whole worker pool: take
+            // the queue even if a previous holder poisoned the lock.
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv()
         };
         let Ok(stream) = stream else {
@@ -295,9 +299,11 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ("POST", "/datasets") => handle_register_dataset(engine, &request.body),
         ("POST", "/synthesize") => handle_synthesize(state, &request.body),
         ("GET", "/evaluate") => handle_evaluate(engine),
-        ("GET", _) if path.starts_with("/jobs/") => handle_job(jobs, &path["/jobs/".len()..]),
+        ("GET", _) if path.starts_with("/jobs/") => {
+            handle_job(jobs, path.strip_prefix("/jobs/").unwrap_or_default())
+        }
         ("GET", _) if path.starts_with("/budget/") => {
-            handle_budget(engine, &path["/budget/".len()..])
+            handle_budget(engine, path.strip_prefix("/budget/").unwrap_or_default())
         }
         (_, "/healthz" | "/datasets" | "/synthesize" | "/evaluate") => {
             error_body(405, "method_not_allowed", "method not allowed")
@@ -502,7 +508,7 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
             ("job_id", Value::UInt(job_id)),
             ("epsilon_spent", Value::Float(epsilon_spent)),
         ]);
-        return Response::json(503, serde_json::to_string(&body).expect("serialize"));
+        return Response::json(503, render_json(&body));
     }
     ok_json(
         202,
@@ -746,8 +752,16 @@ fn outcome_value(outcome: &SynthesisOutcome) -> Value {
     obj(entries)
 }
 
+/// Serialises a response body, degrading to a fixed error document rather
+/// than panicking mid-request if serialisation ever fails.
+fn render_json(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        r#"{"error":"internal","message":"response serialisation failed"}"#.to_string()
+    })
+}
+
 fn ok_json(status: u16, value: Value) -> Response {
-    Response::json(status, serde_json::to_string(&value).expect("serialize"))
+    Response::json(status, render_json(&value))
 }
 
 fn error_body(status: u16, kind: &str, message: &str) -> Response {
@@ -755,7 +769,7 @@ fn error_body(status: u16, kind: &str, message: &str) -> Response {
         ("error", Value::Str(kind.into())),
         ("message", Value::Str(message.into())),
     ]);
-    Response::json(status, serde_json::to_string(&value).expect("serialize"))
+    Response::json(status, render_json(&value))
 }
 
 fn service_error(error: &ServiceError) -> Response {

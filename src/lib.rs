@@ -22,6 +22,7 @@
 //! | [`datasets`] | synthetic stand-ins for the paper's four datasets |
 //! | [`eval`] | declarative, deterministic experiment harness (the paper's evaluation) |
 //! | [`service`] | multi-tenant HTTP synthesis server: budget ledger, fitted-model cache, async jobs |
+//! | [`analysis`] | `agmdp-lint`: static checks for the determinism, ε-flow, and panic-freedom invariants |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use agmdp_analysis as analysis;
 pub use agmdp_core as core;
 pub use agmdp_datasets as datasets;
 pub use agmdp_eval as eval;

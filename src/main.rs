@@ -17,6 +17,9 @@
 //! * `evaluate --plan <file> [--out <dir>] [--markdown <file>] [options]` —
 //!   run a declarative experiment plan (the paper's evaluation) and emit
 //!   per-trial and aggregate artifacts as JSON/CSV/markdown.
+//! * `lint [--root <dir>] [--json]` — run the workspace invariant checker
+//!   (`agmdp-lint`) over the source tree; exits nonzero on any unwaived
+//!   finding.
 //!
 //! Run `agmdp help` for the full usage text.
 
@@ -55,6 +58,7 @@ USAGE:
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
     agmdp evaluate   --plan <plan-file> [--out <dir>] [--markdown <file>]
                      [--repetitions <n>] [--threads <n>] [--seed <s>]
+    agmdp lint       [--root <dir>] [--json]
     agmdp help
 
 Graph files use either interchange format documented in `agmdp::graph::io`:
@@ -80,7 +84,17 @@ POST /synthesize body.
 writes report.json, aggregates.json, trials.csv and aggregates.csv into the
 directory. --markdown writes the tables `docs/EVALUATION.md` embeds. The
 --repetitions/--threads/--seed flags override the plan; results are
-bit-identical at every --threads value.";
+bit-identical at every --threads value.
+
+`lint` runs the static invariant checker (`agmdp::analysis`) over the
+workspace sources: determinism (no ambient RNGs, wall clocks, or
+hash-ordered containers in the deterministic crates), epsilon-flow (noise
+primitives only inside the privacy boundary), panic-freedom (no panicking
+constructs in the service request path) and hygiene (no stray debug
+printing). Findings are silenced only by an inline
+`// agmdp: allow(<lint>, reason = \"...\")` waiver; the contracts are
+documented in docs/INVARIANTS.md. --root defaults to the current
+directory; --json emits the stable report CI diffs.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +105,7 @@ fn main() -> ExitCode {
         Some("generate-dataset") => cmd_generate_dataset(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -356,6 +371,21 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         plan.seed, plan.repetitions
     );
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let flags = args::parse(args, &["--root"], &["--json"])?;
+    let root = std::path::Path::new(flags.get("--root").unwrap_or("."));
+    let report = agmdp::analysis::lint_workspace(root).map_err(|e| e.to_string())?;
+    if flags.has("--json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    match report.unwaived_count() {
+        0 => Ok(()),
+        n => Err(format!("{n} unwaived lint finding(s)")),
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
