@@ -33,6 +33,16 @@ const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/engine.rs",
 ];
 
+/// The metrics/tracing exposition path: every request ticks counters and
+/// `GET /metrics` renders the registry, so the observability code runs on
+/// the same worker threads as the request path and must be equally
+/// panic-free (a poisoned or panicking metric must never fail a request).
+const EXPOSITION_PATH_FILES: &[&str] = &[
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/trace.rs",
+    "crates/service/src/telemetry.rs",
+];
+
 /// Classifies one workspace-relative path. Returns `None` for files the
 /// linter should not scan at all (vendored code, tests, benches, fixtures).
 pub fn scope_for(rel_path: &str) -> Option<Scope> {
@@ -71,7 +81,8 @@ pub fn scope_for(rel_path: &str) -> Option<Scope> {
         scope.epsilon_flow = true;
     }
 
-    scope.panic_freedom = REQUEST_PATH_FILES.contains(&rel_path);
+    scope.panic_freedom =
+        REQUEST_PATH_FILES.contains(&rel_path) || EXPOSITION_PATH_FILES.contains(&rel_path);
     Some(scope)
 }
 
@@ -120,8 +131,8 @@ mod tests {
     }
 
     #[test]
-    fn panic_freedom_covers_exactly_the_request_path() {
-        for path in REQUEST_PATH_FILES {
+    fn panic_freedom_covers_exactly_the_request_and_exposition_paths() {
+        for path in REQUEST_PATH_FILES.iter().chain(EXPOSITION_PATH_FILES) {
             assert!(scope_for(path).unwrap().panic_freedom, "{path}");
         }
         assert!(
@@ -134,6 +145,12 @@ mod tests {
                 .unwrap()
                 .panic_freedom
         );
+        // The obs crate is outside the determinism boundary — it owns the
+        // clocks — but its exposition files still get hygiene + panics.
+        let registry = scope_for("crates/obs/src/registry.rs").unwrap();
+        assert!(!registry.determinism);
+        assert!(registry.hygiene);
+        assert!(!scope_for("crates/obs/src/lib.rs").unwrap().panic_freedom);
     }
 
     #[test]

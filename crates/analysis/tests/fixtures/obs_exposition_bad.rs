@@ -1,0 +1,9 @@
+//! Firing fixture: panicking constructs and debug printing on the metrics
+//! exposition path (virtual path `crates/obs/src/registry.rs`).
+
+fn render(buckets: &[u64], lock: &std::sync::Mutex<Vec<u64>>) -> String {
+    let guard = lock.lock().unwrap();
+    let first = buckets[0];
+    println!("rendering {} buckets", guard.len());
+    format!("{} {}", guard.len(), first)
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: the exposition path recovers from poison and degrades on
+//! missing data instead of panicking, and prints nothing.
+
+fn render(buckets: &[u64], lock: &std::sync::Mutex<Vec<u64>>) -> String {
+    let guard = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let first = buckets.first().copied().unwrap_or(0);
+    format!("{} {}", guard.len(), first)
+}

@@ -15,6 +15,8 @@ const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
 const PANIC_GOOD: &str = include_str!("fixtures/panic_good.rs");
 const HYGIENE_BAD: &str = include_str!("fixtures/hygiene_bad.rs");
 const HYGIENE_GOOD: &str = include_str!("fixtures/hygiene_good.rs");
+const OBS_EXPOSITION_BAD: &str = include_str!("fixtures/obs_exposition_bad.rs");
+const OBS_EXPOSITION_GOOD: &str = include_str!("fixtures/obs_exposition_good.rs");
 const WAIVER_GOOD: &str = include_str!("fixtures/waiver_good.rs");
 const WAIVER_MISSING_REASON: &str = include_str!("fixtures/waiver_missing_reason.rs");
 
@@ -65,6 +67,23 @@ fn hygiene_fires_on_bad_and_not_on_good() {
     assert!(lint_source("crates/graph/src/fixture.rs", HYGIENE_GOOD).is_empty());
     // The CLI binary is allowed to print.
     assert!(lint_source("src/main.rs", HYGIENE_BAD).is_empty());
+}
+
+#[test]
+fn obs_exposition_path_is_panic_freedom_scoped() {
+    let fired = lint_source("crates/obs/src/registry.rs", OBS_EXPOSITION_BAD);
+    let fired_rules = rules(&fired);
+    assert!(fired_rules.contains(&"unwrap"), "{fired:?}");
+    assert!(fired_rules.contains(&"slice-index"), "{fired:?}");
+    assert!(fired_rules.contains(&"stdout-print"), "{fired:?}");
+    assert!(lint_source("crates/obs/src/registry.rs", OBS_EXPOSITION_GOOD).is_empty());
+    // Outside the exposition files, the obs crate keeps hygiene but is not
+    // panic-freedom scoped.
+    let elsewhere = lint_source("crates/obs/src/lib.rs", OBS_EXPOSITION_BAD);
+    assert!(
+        elsewhere.iter().all(|f| f.family == LintFamily::Hygiene),
+        "{elsewhere:?}"
+    );
 }
 
 #[test]

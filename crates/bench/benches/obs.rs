@@ -1,0 +1,137 @@
+//! Criterion benchmarks for the `agmdp-obs` metrics primitives.
+//!
+//! These are the operations the service pays on every request
+//! (`counter_inc`, `histogram_observe` — both lock-free atomics once the
+//! series exists) and on every scrape (`render` — one registry lock plus a
+//! full text exposition). The PR budget allows ≤2% overhead on the
+//! `service/synthesize_cache_hit` path, so the per-event costs here must
+//! stay in the nanosecond range.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use agmdp_obs::{MetricsRegistry, LATENCY_BUCKETS_S};
+
+/// A registry populated like a busy server's: the request/engine families
+/// with a realistic handful of label sets each.
+fn populated_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    for (endpoint, status) in [
+        ("/healthz", "200"),
+        ("/datasets", "200"),
+        ("/synthesize", "202"),
+        ("/synthesize", "402"),
+        ("/jobs/:id", "200"),
+        ("/budget/:name", "200"),
+        ("/metrics", "200"),
+    ] {
+        let c = reg.counter(
+            "agmdp_requests_total",
+            "Requests served.",
+            &[
+                ("endpoint", endpoint),
+                ("method", "GET"),
+                ("status", status),
+            ],
+        );
+        c.add(17);
+        let h = reg.histogram(
+            "agmdp_request_duration_seconds",
+            "Request latency.",
+            &[("endpoint", endpoint)],
+            LATENCY_BUCKETS_S,
+        );
+        for i in 0..32 {
+            h.observe(f64::from(i) * 0.003);
+        }
+    }
+    for stage in [
+        "fit",
+        "attr_sample",
+        "edge_sample",
+        "rewire",
+        "freeze",
+        "serialize",
+        "score",
+    ] {
+        reg.histogram(
+            "agmdp_stage_duration_seconds",
+            "Stage durations.",
+            &[("stage", stage)],
+            LATENCY_BUCKETS_S,
+        )
+        .observe(0.05);
+    }
+    reg.counter("agmdp_fit_cache_hits_total", "Cache hits.", &[])
+        .add(5);
+    reg.gauge("agmdp_fit_cache_entries", "Cache entries.", &[])
+        .set(3.0);
+    reg
+}
+
+fn obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+
+    // The per-request hot path: one atomic fetch_add on an existing series.
+    group.bench_function("counter_inc", |b| {
+        let reg = populated_registry();
+        let counter = reg.counter(
+            "agmdp_requests_total",
+            "Requests served.",
+            &[
+                ("endpoint", "/healthz"),
+                ("method", "GET"),
+                ("status", "200"),
+            ],
+        );
+        b.iter(|| {
+            counter.inc();
+            black_box(());
+        });
+    });
+
+    // One bucket fetch_add plus the f64 CAS loop for the sum.
+    group.bench_function("histogram_observe", |b| {
+        let reg = populated_registry();
+        let histogram = reg.histogram(
+            "agmdp_request_duration_seconds",
+            "Request latency.",
+            &[("endpoint", "/healthz")],
+            LATENCY_BUCKETS_S,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            histogram.observe(black_box((i % 100) as f64 * 0.0004));
+        });
+    });
+
+    // The get-or-create path the handlers actually call: label-set
+    // construction + the registry lock + BTreeMap lookup.
+    group.bench_function("counter_lookup_inc", |b| {
+        let reg = populated_registry();
+        b.iter(|| {
+            reg.counter(
+                "agmdp_requests_total",
+                "Requests served.",
+                &[
+                    ("endpoint", black_box("/healthz")),
+                    ("method", "GET"),
+                    ("status", "200"),
+                ],
+            )
+            .inc();
+        });
+    });
+
+    // The scrape path: a full Prometheus text exposition of the registry.
+    group.bench_function("render", |b| {
+        let reg = populated_registry();
+        b.iter(|| black_box(reg.render().len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, obs);
+criterion_main!(benches);

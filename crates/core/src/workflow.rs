@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use agmdp_graph::{AttributeSchema, AttributedGraph};
 use agmdp_models::acceptance::AcceptanceContext;
 use agmdp_models::chung_lu::ChungLuModel;
+use agmdp_models::observe::{NoopStageObserver, StageObserver, SynthesisStage};
 use agmdp_models::parallel::map_node_chunks;
 use agmdp_models::tricycle::TriCycLeModel;
 use agmdp_models::{ExecPolicy, StructuralModel};
@@ -246,6 +247,20 @@ pub fn synthesize_from_parameters<R: Rng>(
     config: &AgmConfig,
     rng: &mut R,
 ) -> Result<AttributedGraph> {
+    synthesize_from_parameters_observed(params, config, rng, &NoopStageObserver)
+}
+
+/// [`synthesize_from_parameters`] with stage-boundary callbacks: the
+/// observer sees attribute sampling, edge sampling, and rewiring as they
+/// happen. This crate only reports *boundaries* — it never reads a clock,
+/// so determinism is untouched and the observer cannot influence the
+/// output (it receives no data and returns none).
+pub fn synthesize_from_parameters_observed<R: Rng>(
+    params: &LearnedParameters,
+    config: &AgmConfig,
+    rng: &mut R,
+    observer: &dyn StageObserver,
+) -> Result<AttributedGraph> {
     validate_threads(config)?;
     let policy = ExecPolicy::new(config.threads);
     let model: Box<dyn StructuralModel> = match config.model {
@@ -269,10 +284,11 @@ pub fn synthesize_from_parameters<R: Rng>(
     // Unattributed graphs skip attribute sampling and the accept/reject
     // machinery entirely.
     if params.schema.width() == 0 {
-        return Ok(model.generate_par(&policy, rng)?);
+        return Ok(model.generate_par_observed(&policy, rng, observer)?);
     }
 
     // Sample fresh attribute vectors X̃ from Θ̃_X, one node chunk per stream.
+    observer.stage_start(SynthesisStage::AttrSample);
     let codes = map_node_chunks(
         params.num_nodes,
         &policy,
@@ -283,9 +299,10 @@ pub fn synthesize_from_parameters<R: Rng>(
                 .collect()
         },
     );
+    observer.stage_end(SynthesisStage::AttrSample);
 
     // Temporary edge set E', independent of the attributes.
-    let temp = model.generate_par(&policy, rng)?;
+    let temp = model.generate_par_observed(&policy, rng, observer)?;
     let mut current = attach_attributes(&temp, params.schema, &codes)?;
 
     let mut previous_acceptance: Option<Vec<f64>> = None;
@@ -294,7 +311,7 @@ pub fn synthesize_from_parameters<R: Rng>(
         let acceptance =
             acceptance_probabilities(&params.theta_f, &observed, previous_acceptance.as_deref());
         let ctx = AcceptanceContext::new(codes.clone(), params.schema, acceptance.clone())?;
-        current = model.generate_with_acceptance_par(&ctx, &policy, rng)?;
+        current = model.generate_with_acceptance_par_observed(&ctx, &policy, rng, observer)?;
         previous_acceptance = Some(acceptance);
     }
     Ok(current)

@@ -15,6 +15,7 @@ use rand::RngCore;
 use agmdp_graph::{AttributeSchema, AttributedGraph, NodeId};
 
 use crate::error::ModelError;
+use crate::observe::{StageObserver, SynthesisStage};
 use crate::parallel::ExecPolicy;
 use crate::Result;
 
@@ -143,6 +144,40 @@ pub trait StructuralModel {
     ) -> Result<AttributedGraph> {
         let _ = policy;
         self.generate_with_acceptance(ctx, rng)
+    }
+
+    /// [`StructuralModel::generate_par`] with stage-boundary callbacks.
+    /// The default brackets the whole run as
+    /// [`SynthesisStage::EdgeSample`]; models with a distinct rewiring
+    /// phase (TriCycLe, the orphan post-process) override this to report
+    /// the [`SynthesisStage::Rewire`] boundary too. Observers receive
+    /// *only* callbacks — no implementation here may read a clock.
+    fn generate_par_observed(
+        &self,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        observer.stage_start(SynthesisStage::EdgeSample);
+        let result = self.generate_par(policy, rng);
+        observer.stage_end(SynthesisStage::EdgeSample);
+        result
+    }
+
+    /// [`StructuralModel::generate_with_acceptance_par`] with stage-boundary
+    /// callbacks, under the same contract as
+    /// [`StructuralModel::generate_par_observed`].
+    fn generate_with_acceptance_par_observed(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        observer.stage_start(SynthesisStage::EdgeSample);
+        let result = self.generate_with_acceptance_par(ctx, policy, rng);
+        observer.stage_end(SynthesisStage::EdgeSample);
+        result
     }
 }
 

@@ -20,6 +20,7 @@ use agmdp_graph::{AttributeSchema, AttributedGraph};
 
 use crate::acceptance::{AcceptanceContext, StructuralModel};
 use crate::error::ModelError;
+use crate::observe::{NoopStageObserver, StageObserver, SynthesisStage};
 use crate::parallel::{chunk_rng, run_chunks, ExecPolicy};
 use crate::pi::PiSampler;
 use crate::postprocess::wire_orphans;
@@ -219,14 +220,19 @@ impl ChungLuModel {
         self.target_edges
     }
 
+    /// Generation body. The observer sees CL sampling as
+    /// [`SynthesisStage::EdgeSample`] and the optional orphan post-process
+    /// (Algorithm 2) as [`SynthesisStage::Rewire`]; no clock is read here.
     fn generate_inner(
         &self,
         acceptance: Option<&AcceptanceContext>,
         policy: Option<&ExecPolicy>,
         rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
     ) -> Result<AttributedGraph> {
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
         let pi = PiSampler::from_degrees(&self.degrees)?;
+        observer.stage_start(SynthesisStage::EdgeSample);
         let (mut graph, _order) = match policy {
             Some(policy) => sample_cl_edges_chunked(
                 self.degrees.len(),
@@ -246,11 +252,16 @@ impl ChungLuModel {
                 rng,
             ),
         };
-        if let Some(ctx) = acceptance {
-            ctx.apply_attributes(&mut graph)?;
-        }
+        let applied = match acceptance {
+            Some(ctx) => ctx.apply_attributes(&mut graph),
+            None => Ok(()),
+        };
+        observer.stage_end(SynthesisStage::EdgeSample);
+        applied?;
         if self.postprocess_orphans {
+            observer.stage_start(SynthesisStage::Rewire);
             wire_orphans(&mut graph, &self.degrees, &pi, rng);
+            observer.stage_end(SynthesisStage::Rewire);
         }
         Ok(graph)
     }
@@ -262,7 +273,7 @@ impl StructuralModel for ChungLuModel {
     }
 
     fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, None, rng)
+        self.generate_inner(None, None, rng, &NoopStageObserver)
     }
 
     fn generate_with_acceptance(
@@ -271,11 +282,11 @@ impl StructuralModel for ChungLuModel {
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         ctx.check_node_count(self.degrees.len())?;
-        self.generate_inner(Some(ctx), None, rng)
+        self.generate_inner(Some(ctx), None, rng, &NoopStageObserver)
     }
 
     fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, Some(policy), rng)
+        self.generate_inner(None, Some(policy), rng, &NoopStageObserver)
     }
 
     fn generate_with_acceptance_par(
@@ -285,7 +296,27 @@ impl StructuralModel for ChungLuModel {
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         ctx.check_node_count(self.degrees.len())?;
-        self.generate_inner(Some(ctx), Some(policy), rng)
+        self.generate_inner(Some(ctx), Some(policy), rng, &NoopStageObserver)
+    }
+
+    fn generate_par_observed(
+        &self,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        self.generate_inner(None, Some(policy), rng, observer)
+    }
+
+    fn generate_with_acceptance_par_observed(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), Some(policy), rng, observer)
     }
 }
 

@@ -23,6 +23,9 @@
 //! * [`parallel`] — the deterministic parallel synthesis engine: a chunked
 //!   work-stealing executor plus the per-chunk RNG derivation that makes
 //!   multi-threaded sampling bit-identical to single-threaded sampling.
+//! * [`observe`] — the clock-free [`observe::StageObserver`] hooks through
+//!   which the service layer times pipeline stages without this crate ever
+//!   reading a wall clock.
 //!
 //! All generation takes a caller-provided RNG so experiments are reproducible.
 
@@ -33,6 +36,7 @@ pub mod acceptance;
 pub mod baselines;
 pub mod chung_lu;
 pub mod error;
+pub mod observe;
 pub mod parallel;
 pub mod pi;
 pub mod postprocess;
@@ -42,6 +46,7 @@ pub mod tricycle;
 pub use acceptance::{AcceptanceContext, StructuralModel};
 pub use chung_lu::ChungLuModel;
 pub use error::ModelError;
+pub use observe::{NoopStageObserver, StageObserver, SynthesisStage};
 pub use parallel::ExecPolicy;
 pub use pi::PiSampler;
 pub use tcl::TclModel;

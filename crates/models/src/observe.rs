@@ -1,0 +1,142 @@
+//! Clock-free stage observation hooks for the synthesis pipeline.
+//!
+//! The deterministic crates (`models`, `core`) must never read a wall clock
+//! — thread timing cannot be allowed to influence output, and `agmdp lint`
+//! enforces the ban. They still need to tell an interested caller *when*
+//! each pipeline stage starts and ends so the service layer can time them.
+//! [`StageObserver`] is that seam: generation code calls `stage_start` /
+//! `stage_end` with a [`SynthesisStage`] tag and nothing else; an observer
+//! that wants durations reads its own clock on the service side of the
+//! boundary. The default implementation of both methods is a no-op, so the
+//! hooks cost nothing when nobody is listening.
+
+/// One stage of an AGM-DP synthesis run, in pipeline order. `Fit`,
+/// `Freeze`, `Serialize`, and `Score` are bracketed by the service engine;
+/// `AttrSample`, `EdgeSample`, and `Rewire` are emitted from inside the
+/// deterministic workflow and models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SynthesisStage {
+    /// Learning `Θ` from the input graph (Algorithm 3 lines 1–3).
+    Fit,
+    /// Sampling per-node attribute codes from `Θ_X`.
+    AttrSample,
+    /// Structural edge sampling: the Chung-Lu seed phase of Algorithm 1,
+    /// or plain CL/TCL edge proposal.
+    EdgeSample,
+    /// Triangle-targeted rewiring (Algorithm 1 phase 2) and orphan
+    /// post-processing (Algorithm 2).
+    Rewire,
+    /// Freezing the synthetic graph into its immutable CSR snapshot.
+    Freeze,
+    /// Binary `.agb` serialization of the frozen snapshot.
+    Serialize,
+    /// Utility scoring of the synthetic graph against the fitted profile.
+    Score,
+}
+
+impl SynthesisStage {
+    /// Stable lowercase label, used as the `stage` metric label and in
+    /// trace lines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SynthesisStage::Fit => "fit",
+            SynthesisStage::AttrSample => "attr_sample",
+            SynthesisStage::EdgeSample => "edge_sample",
+            SynthesisStage::Rewire => "rewire",
+            SynthesisStage::Freeze => "freeze",
+            SynthesisStage::Serialize => "serialize",
+            SynthesisStage::Score => "score",
+        }
+    }
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [SynthesisStage; 7] = [
+        SynthesisStage::Fit,
+        SynthesisStage::AttrSample,
+        SynthesisStage::EdgeSample,
+        SynthesisStage::Rewire,
+        SynthesisStage::Freeze,
+        SynthesisStage::Serialize,
+        SynthesisStage::Score,
+    ];
+}
+
+/// Receiver for stage boundaries. Implementations live *outside* the
+/// deterministic crates (the service's timing observer); in here only the
+/// no-op default exists. A stage may be observed more than once per run —
+/// each refinement iteration of Algorithm 3 re-enters `EdgeSample` and
+/// `Rewire` — and `stage_start`/`stage_end` always come in non-nested,
+/// properly paired sequence on the calling thread.
+pub trait StageObserver: Sync {
+    /// Called immediately before the stage's work begins.
+    fn stage_start(&self, stage: SynthesisStage) {
+        let _ = stage;
+    }
+
+    /// Called immediately after the stage's work completes (also on the
+    /// error path: observers must tolerate an `end` for a failed stage).
+    fn stage_end(&self, stage: SynthesisStage) {
+        let _ = stage;
+    }
+}
+
+/// The do-nothing observer used whenever no caller is listening.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopStageObserver;
+
+impl StageObserver for NoopStageObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn stage_names_are_stable_and_distinct() {
+        let names: Vec<&str> = SynthesisStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fit",
+                "attr_sample",
+                "edge_sample",
+                "rewire",
+                "freeze",
+                "serialize",
+                "score"
+            ]
+        );
+    }
+
+    #[test]
+    fn noop_observer_accepts_all_stages() {
+        let obs = NoopStageObserver;
+        for stage in SynthesisStage::ALL {
+            obs.stage_start(stage);
+            obs.stage_end(stage);
+        }
+    }
+
+    #[test]
+    fn custom_observer_receives_paired_callbacks() {
+        #[derive(Default)]
+        struct CountingObserver {
+            starts: AtomicUsize,
+            ends: AtomicUsize,
+        }
+        impl StageObserver for CountingObserver {
+            fn stage_start(&self, _stage: SynthesisStage) {
+                self.starts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn stage_end(&self, _stage: SynthesisStage) {
+                self.ends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let obs = CountingObserver::default();
+        obs.stage_start(SynthesisStage::EdgeSample);
+        obs.stage_end(SynthesisStage::EdgeSample);
+        assert_eq!(obs.starts.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.ends.load(Ordering::Relaxed), 1);
+    }
+}

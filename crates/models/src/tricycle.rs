@@ -32,6 +32,7 @@ use agmdp_graph::{AttributeSchema, AttributedGraph};
 use crate::acceptance::{AcceptanceContext, StructuralModel};
 use crate::chung_lu::{sample_cl_edges, sample_cl_edges_chunked, sample_uniform};
 use crate::error::ModelError;
+use crate::observe::{NoopStageObserver, StageObserver, SynthesisStage};
 use crate::parallel::ExecPolicy;
 use crate::pi::PiSampler;
 use crate::postprocess::wire_orphans;
@@ -104,11 +105,16 @@ impl TriCycLeModel {
     /// accepted replacement changes the neighbor lists the next proposal
     /// samples from — and always draws from the caller's RNG, so its stream
     /// is identical for every thread count.
+    ///
+    /// The observer sees the two phases as [`SynthesisStage::EdgeSample`]
+    /// (seed graph) and [`SynthesisStage::Rewire`] (triangle rewiring plus
+    /// orphan post-processing); no clock is read here.
     fn generate_inner(
         &self,
         acceptance: Option<&AcceptanceContext>,
         policy: Option<&ExecPolicy>,
         rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
     ) -> Result<AttributedGraph> {
         let n = self.degrees.len();
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
@@ -131,6 +137,7 @@ impl TriCycLeModel {
         };
 
         // Phase 1: Chung-Lu seed graph (with acceptance filtering when given).
+        observer.stage_start(SynthesisStage::EdgeSample);
         let (mut graph, order) = match policy {
             Some(policy) => {
                 sample_cl_edges_chunked(n, &pi, seed_edges, schema, acceptance, policy, rng)
@@ -138,14 +145,19 @@ impl TriCycLeModel {
             None => sample_cl_edges(n, &pi, seed_edges, schema, acceptance, rng),
         };
         if let Some(ctx) = acceptance {
-            ctx.apply_attributes(&mut graph)?;
+            if let Err(e) = ctx.apply_attributes(&mut graph) {
+                observer.stage_end(SynthesisStage::EdgeSample);
+                return Err(e);
+            }
         }
         if self.orphan_extension {
             wire_orphans(&mut graph, &self.degrees, &pi, rng);
         }
+        observer.stage_end(SynthesisStage::EdgeSample);
         let mut ages: VecDeque<Edge> = order.into();
 
         // Phase 2: rewire edges until the triangle target is met.
+        observer.stage_start(SynthesisStage::Rewire);
         let mut tau = count_triangles(&graph);
         let max_iterations = self
             .max_iteration_factor
@@ -193,10 +205,12 @@ impl TriCycLeModel {
         if self.orphan_extension {
             wire_orphans(&mut graph, &self.degrees, &pi, rng);
         }
-        if let Some(ctx) = acceptance {
-            ctx.apply_attributes(&mut graph)?;
-        }
-        Ok(graph)
+        let result = match acceptance {
+            Some(ctx) => ctx.apply_attributes(&mut graph).map(|()| graph),
+            None => Ok(graph),
+        };
+        observer.stage_end(SynthesisStage::Rewire);
+        result
     }
 }
 
@@ -216,7 +230,7 @@ impl StructuralModel for TriCycLeModel {
     }
 
     fn generate(&self, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, None, rng)
+        self.generate_inner(None, None, rng, &NoopStageObserver)
     }
 
     fn generate_with_acceptance(
@@ -225,11 +239,11 @@ impl StructuralModel for TriCycLeModel {
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         ctx.check_node_count(self.degrees.len())?;
-        self.generate_inner(Some(ctx), None, rng)
+        self.generate_inner(Some(ctx), None, rng, &NoopStageObserver)
     }
 
     fn generate_par(&self, policy: &ExecPolicy, rng: &mut dyn RngCore) -> Result<AttributedGraph> {
-        self.generate_inner(None, Some(policy), rng)
+        self.generate_inner(None, Some(policy), rng, &NoopStageObserver)
     }
 
     fn generate_with_acceptance_par(
@@ -239,7 +253,27 @@ impl StructuralModel for TriCycLeModel {
         rng: &mut dyn RngCore,
     ) -> Result<AttributedGraph> {
         ctx.check_node_count(self.degrees.len())?;
-        self.generate_inner(Some(ctx), Some(policy), rng)
+        self.generate_inner(Some(ctx), Some(policy), rng, &NoopStageObserver)
+    }
+
+    fn generate_par_observed(
+        &self,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        self.generate_inner(None, Some(policy), rng, observer)
+    }
+
+    fn generate_with_acceptance_par_observed(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<AttributedGraph> {
+        ctx.check_node_count(self.degrees.len())?;
+        self.generate_inner(Some(ctx), Some(policy), rng, observer)
     }
 }
 

@@ -1,0 +1,33 @@
+//! # agmdp-obs — hand-rolled observability for the AGM-DP service
+//!
+//! A dependency-free metrics and tracing layer, vendored-only like the rest
+//! of the workspace:
+//!
+//! * [`MetricsRegistry`] — lock-free [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s rendered in the Prometheus text exposition
+//!   format with a stable, fully sorted output (snapshot-testable
+//!   byte-for-byte).
+//! * [`TraceSink`] — one JSON log line per request/span to stderr, plus an
+//!   [`IdSource`] for per-request identifiers.
+//!
+//! ## Determinism boundary
+//!
+//! This crate reads wall clocks (`SystemTime` for trace timestamps) and is
+//! therefore **outside** the deterministic core: only the service layer may
+//! depend on it. The deterministic crates (`core`, `models`, …) emit stage
+//! callbacks through the clock-free `StageObserver` trait in `agmdp-models`
+//! and never observe time themselves; the service-side observer turns those
+//! callbacks into histogram samples here.
+//!
+//! The exposition path ([`MetricsRegistry::render`] and everything it calls)
+//! is panic-free by policy — `agmdp lint` enforces it, exactly as it does
+//! for the service request path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_S};
+pub use trace::{IdSource, TraceEvent, TraceSink};

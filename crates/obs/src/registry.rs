@@ -1,0 +1,524 @@
+//! Atomics-based metrics registry with a Prometheus text-exposition renderer.
+//!
+//! Everything here is on the service's `GET /metrics` path, so this module
+//! is panic-free by policy: no `unwrap`/`expect`, no slice indexing, no
+//! panicking macros. Misuse (re-registering a name under a different kind)
+//! degrades to a detached instrument instead of panicking, so a buggy
+//! caller can never take the exposition endpoint down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency bucket upper bounds, in seconds. Spans sub-millisecond
+/// cache hits through multi-second cold synthesis runs.
+pub const LATENCY_BUCKETS_S: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` gauge, stored as IEEE-754 bits in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free additive accumulation of an `f64` stored as bits.
+fn f64_fetch_add(bits: &AtomicU64, v: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + v).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A fixed-bucket histogram with lock-free `AtomicU64` bucket counts.
+///
+/// Bucket semantics follow Prometheus: a bucket with upper bound `le`
+/// counts observations `v <= le` (per-bucket here; rendering emits the
+/// cumulative form), and there is always a final `+Inf` bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly ascending.
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the trailing `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram from `bounds`; non-finite bounds are dropped and
+    /// the rest sorted and deduplicated, so any input yields a usable
+    /// histogram.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut clean: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        clean.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        clean.dedup();
+        let counts = (0..clean.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: clean,
+            counts,
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. A value exactly equal to a bucket's upper
+    /// bound lands in that bucket (`le` is inclusive); anything above the
+    /// largest finite bound lands in `+Inf`.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        if let Some(slot) = self.counts.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        f64_fetch_add(&self.sum_bits, v);
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is `+Inf`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sorted, owned label pairs — the series key within a family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: &'static str,
+    help: &'static str,
+    series: BTreeMap<LabelSet, Instrument>,
+}
+
+/// A registry of named metric families, rendered in the Prometheus text
+/// exposition format with fully sorted, byte-stable output.
+///
+/// Instruments are `Arc`-shared: callers register once (get-or-create) and
+/// then update through lock-free atomics; the registry mutex is only taken
+/// at registration and render time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`. If `name` already names
+    /// a different metric kind, a detached counter is returned instead of
+    /// panicking (its updates will not be rendered).
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let mut families = self.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind: "counter",
+            help,
+            series: BTreeMap::new(),
+        });
+        if family.kind != "counter" {
+            return Arc::new(Counter::default());
+        }
+        let slot = family
+            .series
+            .entry(label_set(labels))
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())));
+        match slot {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`; same degradation rules as
+    /// [`MetricsRegistry::counter`].
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let mut families = self.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind: "gauge",
+            help,
+            series: BTreeMap::new(),
+        });
+        if family.kind != "gauge" {
+            return Arc::new(Gauge::default());
+        }
+        let slot = family
+            .series
+            .entry(label_set(labels))
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())));
+        match slot {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}` with the given bucket
+    /// upper bounds (a `+Inf` bucket is always added); same degradation
+    /// rules as [`MetricsRegistry::counter`]. Bounds are fixed at first
+    /// registration; later calls reuse the existing buckets.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut families = self.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind: "histogram",
+            help,
+            series: BTreeMap::new(),
+        });
+        if family.kind != "histogram" {
+            return Arc::new(Histogram::new(bounds));
+        }
+        let slot = family
+            .series
+            .entry(label_set(labels))
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(bounds))));
+        match slot {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    /// Families are sorted by name and series by label set, so the output
+    /// is byte-stable for a given set of values.
+    pub fn render(&self) -> String {
+        let families = self.lock();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (labels, instrument) in &family.series {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ =
+                            writeln!(out, "{name}{} {}", render_labels(labels), fmt_f64(g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        render_histogram(&mut out, name, labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Family>> {
+        // A poisoned registry mutex only means another thread panicked
+        // mid-update; the data is still sound for rendering.
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// Renders `{k="v",...}`, or the empty string for a label-free series.
+fn render_labels(labels: &LabelSet) -> String {
+    render_labels_with(labels, None)
+}
+
+/// Renders labels with an optional trailing `le` pair (for histogram
+/// buckets, which always carry `le` last for readability).
+fn render_labels_with(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &LabelSet, h: &Histogram) {
+    let per_bucket = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (bound, n) in h.bounds().iter().zip(per_bucket.iter()) {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            render_labels_with(labels, Some(&fmt_f64(*bound)))
+        );
+    }
+    let total: u64 = per_bucket.iter().sum();
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {total}",
+        render_labels_with(labels, Some("+Inf"))
+    );
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        render_labels(labels),
+        fmt_f64(h.sum())
+    );
+    let _ = writeln!(out, "{name}_count{} {total}", render_labels(labels));
+}
+
+/// Prometheus-style float formatting: shortest `Display` form, with the
+/// infinities spelled `+Inf`/`-Inf`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+    }
+    format!("{v}")
+}
+
+/// Escapes a label value per the exposition format: backslash, quote, and
+/// newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_and_get() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("agmdp_test_total", "help", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Get-or-create returns the same underlying counter.
+        assert_eq!(reg.counter("agmdp_test_total", "help", &[]).get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_get() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("agmdp_gauge", "help", &[("dataset", "toy")]);
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set(-0.25);
+        assert_eq!(g.get(), -0.25);
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_detached_instrument() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("agmdp_mixed", "help", &[]);
+        c.inc();
+        // Same name as a gauge: detached, not rendered, no panic.
+        let g = reg.gauge("agmdp_mixed", "help", &[]);
+        g.set(9.0);
+        let text = reg.render();
+        assert!(text.contains("agmdp_mixed 1"));
+        assert!(!text.contains('9'));
+    }
+
+    #[test]
+    fn histogram_value_equal_to_bound_lands_in_that_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // le="1" is inclusive
+        h.observe(1.5);
+        h.observe(2.0); // le="2" is inclusive
+        assert_eq!(h.bucket_counts(), vec![1, 2, 0]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_lands_in_inf_bucket() {
+        let h = Histogram::new(&[0.5]);
+        h.observe(0.6);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.bucket_counts(), vec![0, 2]);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sanitized() {
+        let h = Histogram::new(&[2.0, f64::INFINITY, 1.0, 2.0, f64::NAN]);
+        assert_eq!(h.bounds(), &[1.0, 2.0]);
+        assert_eq!(h.bucket_counts().len(), 3);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("agmdp_esc_total", "help", &[("p", "a\"b\\c\nd")])
+            .inc();
+        let text = reg.render();
+        assert!(text.contains("p=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+
+    #[test]
+    fn concurrent_hammer_loses_no_increments_or_observations() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let reg = Arc::new(MetricsRegistry::new());
+        let counter = reg.counter("agmdp_hammer_total", "help", &[]);
+        let histogram = reg.histogram("agmdp_hammer_seconds", "help", &[], &[0.5]);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        // Alternate buckets so both slots see contention.
+                        histogram.observe(if (t as u64 + i) % 2 == 0 { 0.25 } else { 1.0 });
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("hammer thread");
+        }
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(counter.get(), expected);
+        assert_eq!(histogram.count(), expected);
+        assert_eq!(histogram.bucket_counts(), vec![expected / 2, expected / 2]);
+        // The f64 CAS loop must not drop observations either:
+        // sum = n/2 * 0.25 + n/2 * 1.0 exactly (both values are dyadic).
+        let want_sum = (expected / 2) as f64 * 0.25 + (expected / 2) as f64;
+        assert_eq!(histogram.sum(), want_sum);
+    }
+
+    #[test]
+    fn exposition_snapshot_is_byte_stable() {
+        let reg = MetricsRegistry::new();
+        // Registered out of name order on purpose: rendering sorts.
+        reg.gauge("agmdp_z_gauge", "Last by name.", &[("dataset", "toy")])
+            .set(0.25);
+        reg.counter(
+            "agmdp_a_total",
+            "First by name.",
+            &[("endpoint", "/healthz"), ("status", "200")],
+        )
+        .add(3);
+        let h = reg.histogram("agmdp_m_seconds", "Middle by name.", &[], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.1); // inclusive upper bound
+        h.observe(5.0); // +Inf bucket
+        let expected = "\
+# HELP agmdp_a_total First by name.
+# TYPE agmdp_a_total counter
+agmdp_a_total{endpoint=\"/healthz\",status=\"200\"} 3
+# HELP agmdp_m_seconds Middle by name.
+# TYPE agmdp_m_seconds histogram
+agmdp_m_seconds_bucket{le=\"0.1\"} 2
+agmdp_m_seconds_bucket{le=\"1\"} 2
+agmdp_m_seconds_bucket{le=\"+Inf\"} 3
+agmdp_m_seconds_sum 5.15
+agmdp_m_seconds_count 3
+# HELP agmdp_z_gauge Last by name.
+# TYPE agmdp_z_gauge gauge
+agmdp_z_gauge{dataset=\"toy\"} 0.25
+";
+        assert_eq!(reg.render(), expected);
+        // Rendering is read-only: a second render is byte-identical.
+        assert_eq!(reg.render(), expected);
+    }
+}

@@ -1,0 +1,190 @@
+//! Structured tracing: one JSON log line per request/span, written to
+//! stderr so it never interleaves with protocol output on stdout.
+//!
+//! The sink is intentionally tiny: no levels, no formatting backends, just
+//! `{"event":"...","ts_ms":...,<fields>}` lines that are trivially
+//! machine-parseable. A disabled sink (the default for embedded engines,
+//! benches, and `--quiet` servers) short-circuits every field call.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Monotonic ID allocator for request and span identifiers.
+#[derive(Debug, Default)]
+pub struct IdSource {
+    next: AtomicU64,
+}
+
+impl IdSource {
+    /// A source whose first ID is 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next ID.
+    pub fn next_id(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Destination for trace events. Cloning is cheap; a disabled sink makes
+/// every [`TraceEvent`] a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSink {
+    enabled: bool,
+}
+
+impl TraceSink {
+    /// A sink that discards everything.
+    pub fn disabled() -> Self {
+        TraceSink { enabled: false }
+    }
+
+    /// A sink that writes one JSON line per event to stderr.
+    pub fn stderr() -> Self {
+        TraceSink { enabled: true }
+    }
+
+    /// Whether events will actually be written.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts an event named `event`, stamped with epoch milliseconds.
+    pub fn event(&self, event: &str) -> TraceEvent {
+        if !self.enabled {
+            return TraceEvent { buf: None };
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"event\":\"");
+        escape_into(&mut buf, event);
+        buf.push_str("\",\"ts_ms\":");
+        buf.push_str(&ts_ms.to_string());
+        TraceEvent { buf: Some(buf) }
+    }
+}
+
+/// A JSON log line under construction. Dropping it without calling
+/// [`TraceEvent::emit`] discards the event.
+#[derive(Debug)]
+pub struct TraceEvent {
+    /// `None` when the sink is disabled.
+    buf: Option<String>,
+}
+
+impl TraceEvent {
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push_str(",\"");
+            escape_into(buf, key);
+            buf.push_str("\":\"");
+            escape_into(buf, value);
+            buf.push('"');
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push_str(",\"");
+            escape_into(buf, key);
+            buf.push_str("\":");
+            buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// Adds a float field (rendered `null` if non-finite, as JSON demands).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push_str(",\"");
+            escape_into(buf, key);
+            buf.push_str("\":");
+            if value.is_finite() {
+                buf.push_str(&format!("{value}"));
+            } else {
+                buf.push_str("null");
+            }
+        }
+        self
+    }
+
+    /// Writes the completed line to stderr (no-op for a disabled sink).
+    pub fn emit(self) {
+        if let Some(mut buf) = self.buf {
+            buf.push('}');
+            buf.push('\n');
+            let stderr = std::io::stderr();
+            let mut handle = stderr.lock();
+            let _ = handle.write_all(buf.as_bytes());
+        }
+    }
+}
+
+/// Minimal JSON string escaping: quote, backslash, and control characters.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic_from_one() {
+        let ids = IdSource::new();
+        assert_eq!(ids.next_id(), 1);
+        assert_eq!(ids.next_id(), 2);
+    }
+
+    #[test]
+    fn disabled_sink_builds_nothing() {
+        let sink = TraceSink::disabled();
+        let ev = sink.event("request").str("path", "/x").u64("status", 200);
+        assert!(ev.buf.is_none());
+        ev.emit(); // must not write or panic
+    }
+
+    #[test]
+    fn enabled_sink_builds_valid_json_shape() {
+        let sink = TraceSink::stderr();
+        let ev = sink
+            .event("span")
+            .str("stage", "fit")
+            .u64("id", 7)
+            .f64("secs", 0.25)
+            .f64("bad", f64::NAN);
+        let buf = ev.buf.clone().unwrap_or_default();
+        assert!(buf.starts_with("{\"event\":\"span\",\"ts_ms\":"));
+        assert!(buf.contains("\"stage\":\"fit\""));
+        assert!(buf.contains("\"id\":7"));
+        assert!(buf.contains("\"secs\":0.25"));
+        assert!(buf.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -24,11 +24,12 @@ use rand::SeedableRng;
 
 use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_core::workflow::{
-    learn_parameters, synthesize_from_parameters, AgmConfig, LearnedParameters, Privacy,
+    learn_parameters, synthesize_from_parameters_observed, AgmConfig, LearnedParameters, Privacy,
     StructuralModelKind,
 };
 use agmdp_graph::triangles::count_triangles;
 use agmdp_graph::{io, AttributedGraph, FrozenGraph, GraphView};
+use agmdp_models::observe::{StageObserver, SynthesisStage};
 
 use agmdp_eval::{GraphProfile, UtilityReport};
 
@@ -37,6 +38,7 @@ use crate::error::ServiceError;
 use crate::evalstore::EvalStore;
 use crate::ledger::BudgetLedger;
 use crate::registry::{DatasetRegistry, DatasetSummary};
+use crate::telemetry::{StageTimer, Telemetry};
 
 /// Distinguishes the sampling RNG stream from the learning stream (both are
 /// derived from the request seed).
@@ -249,12 +251,22 @@ pub struct SynthesisEngine {
     /// stale for a live name).
     profiles: Mutex<BTreeMap<String, Arc<GraphProfile>>>,
     in_flight: Arc<InFlight>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl SynthesisEngine {
     /// An engine over the given ledger with an empty registry and cache.
+    /// Metrics are collected from the start; trace output is off (see
+    /// [`SynthesisEngine::with_telemetry`]).
     #[must_use]
     pub fn new(ledger: BudgetLedger) -> Self {
+        Self::with_telemetry(ledger, Arc::new(Telemetry::quiet()))
+    }
+
+    /// An engine reporting into the given telemetry (the server path, which
+    /// may have span tracing enabled).
+    #[must_use]
+    pub fn with_telemetry(ledger: BudgetLedger, telemetry: Arc<Telemetry>) -> Self {
         Self {
             registry: DatasetRegistry::new(),
             ledger,
@@ -262,7 +274,15 @@ impl SynthesisEngine {
             evaluations: EvalStore::new(),
             profiles: Mutex::new(BTreeMap::new()),
             in_flight: Arc::new(InFlight::default()),
+            telemetry,
         }
+    }
+
+    /// The engine's observability state (shared with the HTTP server, which
+    /// serves its registry at `GET /metrics`).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The dataset registry.
@@ -371,6 +391,7 @@ impl SynthesisEngine {
         self.registry.get(&request.dataset)?;
         let key = request.fit_key();
         if let Some(params) = self.cache.get(&key) {
+            self.telemetry.record_fit_cache(true);
             return Ok(Admission {
                 params: Some(params),
                 epsilon_spent: 0.0,
@@ -387,6 +408,7 @@ impl SynthesisEngine {
         // the cache could serve for free. A fresh claim is simply dropped
         // (released) when the hit path wins.
         if let Some(params) = self.cache.get(&key) {
+            self.telemetry.record_fit_cache(true);
             return Ok(Admission {
                 params: Some(params),
                 epsilon_spent: 0.0,
@@ -394,6 +416,7 @@ impl SynthesisEngine {
             });
         }
         self.ledger.spend(&request.dataset, request.epsilon)?;
+        self.telemetry.record_fit_cache(false);
         Ok(Admission {
             params: None,
             epsilon_spent: request.epsilon,
@@ -422,6 +445,11 @@ impl SynthesisEngine {
             }
             if waited >= IN_FLIGHT_MAX_WAIT {
                 return None;
+            }
+            if waited == Duration::ZERO {
+                // Counted once per admission that actually blocks, not per
+                // wait slice.
+                self.telemetry.record_single_flight_wait();
             }
             let (guard, _) = self
                 .in_flight
@@ -502,6 +530,11 @@ impl SynthesisEngine {
     }
 
     /// Runs an admitted request: fit (cache miss only) + sample.
+    ///
+    /// Every pipeline stage is timed through a [`StageTimer`]: the fit,
+    /// freeze, score, and serialize brackets live here; the attr-sample,
+    /// edge-sample, and rewire brackets are emitted from inside the
+    /// deterministic workflow via its clock-free observer hooks.
     pub fn run(
         &self,
         request: &SynthesisRequest,
@@ -509,23 +542,45 @@ impl SynthesisEngine {
     ) -> Result<SynthesisOutcome, ServiceError> {
         let config = request.config();
         let cache_hit = admission.cache_hit();
-        let params = self.parameters(request, &admission)?;
+        let run_id = self.telemetry.next_run_id();
+        let timer = StageTimer::new(&self.telemetry, run_id);
+        let params = if cache_hit {
+            self.parameters(request, &admission)?
+        } else {
+            timer.stage_start(SynthesisStage::Fit);
+            let fitted = self.parameters(request, &admission);
+            timer.stage_end(SynthesisStage::Fit);
+            fitted?
+        };
         let mut sample_rng = StdRng::seed_from_u64(request.seed ^ SAMPLING_SEED_SALT);
-        let synthetic = synthesize_from_parameters(&params, &config, &mut sample_rng)
-            .map_err(|e| ServiceError::Synthesis(e.to_string()))?;
+        let synthetic =
+            synthesize_from_parameters_observed(&params, &config, &mut sample_rng, &timer)
+                .map_err(|e| ServiceError::Synthesis(e.to_string()))?;
         // The release is now read-only: freeze it once and let the stats,
         // the utility scoring and the optional serialisation all traverse
         // the CSR snapshot (identical values, flat-array locality).
+        timer.stage_start(SynthesisStage::Freeze);
         let frozen = synthetic.freeze();
+        timer.stage_end(SynthesisStage::Freeze);
         // Score the release against the original (ε-free post-processing)
         // and fold it into the per-dataset utility aggregate that
         // `GET /evaluate` reports. The original's half of every metric is
         // computed once per dataset and cached, so repeat requests — in
         // particular the ε-free fit-cache hits — only pay for the
         // synthetic side.
+        timer.stage_start(SynthesisStage::Score);
         let profile = self.dataset_profile(&request.dataset)?;
         let utility = UtilityReport::against(&profile, &frozen);
         self.evaluations.record(&request.dataset, &utility);
+        timer.stage_end(SynthesisStage::Score);
+        let graph_text = if request.return_graph {
+            timer.stage_start(SynthesisStage::Serialize);
+            let text = io::to_text(&frozen);
+            timer.stage_end(SynthesisStage::Serialize);
+            Some(text)
+        } else {
+            None
+        };
         Ok(SynthesisOutcome {
             dataset: request.dataset.clone(),
             epsilon: request.epsilon,
@@ -533,7 +588,7 @@ impl SynthesisEngine {
             cache_hit,
             stats: GraphStats::of(&frozen),
             utility,
-            graph_text: request.return_graph.then(|| io::to_text(&frozen)),
+            graph_text,
         })
     }
 

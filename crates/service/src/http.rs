@@ -30,15 +30,32 @@ pub struct Request {
 pub struct Response {
     /// Status code, e.g. `200`.
     pub status: u16,
-    /// Response body (the service always sends JSON).
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value (JSON everywhere except the Prometheus
+    /// text exposition at `GET /metrics`).
+    pub content_type: &'static str,
 }
 
 impl Response {
     /// A JSON response with the given status.
     #[must_use]
     pub fn json(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A Prometheus text-exposition response with the given status.
+    #[must_use]
+    pub fn metrics_text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
     }
 }
 
@@ -169,9 +186,10 @@ fn read_head_line<S: Read>(reader: &mut BufReader<S>) -> Result<String, HttpErro
 /// Writes a response, always closing the connection afterwards.
 pub fn write_response<S: Write>(mut stream: S, response: &Response) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         reason_phrase(response.status),
+        response.content_type,
         response.body.len(),
     );
     stream.write_all(head.as_bytes())?;
@@ -252,7 +270,18 @@ mod tests {
         write_response(&mut out, &Response::json(200, "{\"ok\":true}".into())).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn metrics_responses_use_the_text_exposition_content_type() {
+        let mut out = Vec::new();
+        let body = "agmdp_requests_total 1\n".to_string();
+        write_response(&mut out, &Response::metrics_text(200, body)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.ends_with("agmdp_requests_total 1\n"));
     }
 }

@@ -115,6 +115,22 @@ impl JobStore {
             .get(&id)
             .cloned()
     }
+
+    /// Number of currently queued and currently running jobs — the live
+    /// queue depth exported at `GET /metrics`.
+    #[must_use]
+    pub fn live_counts(&self) -> (usize, usize) {
+        let jobs = self.jobs.lock().expect("job lock poisoned");
+        let queued = jobs
+            .values()
+            .filter(|s| matches!(s, JobState::Queued))
+            .count();
+        let running = jobs
+            .values()
+            .filter(|s| matches!(s, JobState::Running))
+            .count();
+        (queued, running)
+    }
 }
 
 #[cfg(test)]

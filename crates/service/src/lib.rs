@@ -24,6 +24,11 @@
 //!   `std::net::TcpListener` with a fixed worker thread pool (the container
 //!   has no crates.io access, so there is no tokio; [`http`] and [`json`] are
 //!   the minimal framing/parsing the endpoints need).
+//! * **Observability** ([`telemetry`]) — every request, cache outcome, and
+//!   synthesis stage is recorded into an `agmdp_obs` metrics registry served
+//!   at `GET /metrics`, with optional JSON access/span logging to stderr.
+//!   Stage timings cross the determinism boundary through the clock-free
+//!   `StageObserver` hooks; all clock reads stay on this side of it.
 //!
 //! ## Quickstart
 //!
@@ -62,8 +67,10 @@ pub mod json;
 pub mod ledger;
 pub mod registry;
 pub mod server;
+pub mod telemetry;
 
 pub use engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
 pub use error::ServiceError;
 pub use ledger::{BudgetLedger, BudgetStatus};
 pub use server::{start, ServerHandle, ServiceConfig};
+pub use telemetry::{StageTimer, Telemetry};

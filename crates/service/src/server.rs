@@ -13,19 +13,21 @@
 //! | `GET /jobs/:id`      | poll an enqueued job |
 //! | `GET /budget/:name`  | one dataset's ledger state |
 //! | `GET /evaluate`      | aggregated utility of served releases, per dataset |
+//! | `GET /metrics`       | Prometheus text exposition of every metric family |
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 
 use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_core::workflow::StructuralModelKind;
 use agmdp_graph::{io, GraphError};
+use agmdp_obs::TraceSink;
 
 use crate::engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
 use crate::error::ServiceError;
@@ -33,6 +35,7 @@ use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::jobs::{JobState, JobStore};
 use crate::json;
 use crate::ledger::BudgetLedger;
+use crate::telemetry::Telemetry;
 
 /// How long a worker waits for a slow client before dropping the connection.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -42,7 +45,8 @@ const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// replaying one cached (ε-free) request could spawn unbounded work.
 const JOBS_PER_WORKER: usize = 4;
 
-/// Server configuration (mirrors `agmdp serve --addr --threads --ledger-path`).
+/// Server configuration (mirrors `agmdp serve --addr --threads --ledger-path
+/// --quiet`).
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral port).
@@ -52,6 +56,9 @@ pub struct ServiceConfig {
     /// Journal path for the persistent budget ledger; `None` keeps budgets
     /// in memory only.
     pub ledger_path: Option<PathBuf>,
+    /// Suppresses the per-request access log and span lines on stderr.
+    /// Metrics at `GET /metrics` are collected either way.
+    pub quiet: bool,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +67,7 @@ impl Default for ServiceConfig {
             addr: "127.0.0.1:7878".to_string(),
             threads: 4,
             ledger_path: None,
+            quiet: false,
         }
     }
 }
@@ -140,7 +148,13 @@ pub fn start(config: &ServiceConfig) -> Result<ServerHandle, ServiceError> {
         Some(path) => BudgetLedger::open(path)?,
         None => BudgetLedger::in_memory(),
     };
-    start_with_engine(config, SynthesisEngine::new(ledger))
+    let sink = if config.quiet {
+        TraceSink::disabled()
+    } else {
+        TraceSink::stderr()
+    };
+    let telemetry = Arc::new(Telemetry::new(sink));
+    start_with_engine(config, SynthesisEngine::with_telemetry(ledger, telemetry))
 }
 
 /// [`start`] with a pre-built engine (tests pre-register datasets this way).
@@ -278,10 +292,51 @@ fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<Ser
         let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         let response = match read_request(&stream) {
-            Ok(request) => route(state, &request),
+            Ok(request) => handle_request(state, &request),
             Err(HttpError { status, message }) => error_body(status, "bad_request", &message),
         };
         let _ = write_response(&stream, &response);
+    }
+}
+
+/// Routes one parsed request, recording its count and latency into the
+/// metrics registry and (when tracing is enabled) one JSON access-log line.
+fn handle_request(state: &Arc<ServerState>, request: &Request) -> Response {
+    let telemetry = state.engine.telemetry();
+    let request_id = telemetry.next_request_id();
+    let started = Instant::now();
+    let response = route(state, request);
+    let seconds = started.elapsed().as_secs_f64();
+    telemetry.record_request(
+        endpoint_label(&request.path),
+        &request.method,
+        response.status,
+        seconds,
+    );
+    telemetry
+        .sink()
+        .event("request")
+        .u64("id", request_id)
+        .str("method", &request.method)
+        .str("path", &request.path)
+        .u64("status", u64::from(response.status))
+        .f64("secs", seconds)
+        .emit();
+    response
+}
+
+/// Collapses a request target onto its route pattern so metric labels stay
+/// low-cardinality: job ids and dataset names never become label values.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/datasets" => "/datasets",
+        "/synthesize" => "/synthesize",
+        "/evaluate" => "/evaluate",
+        "/metrics" => "/metrics",
+        _ if path.starts_with("/jobs/") => "/jobs/:id",
+        _ if path.starts_with("/budget/") => "/budget/:name",
+        _ => "unknown",
     }
 }
 
@@ -299,13 +354,14 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ("POST", "/datasets") => handle_register_dataset(engine, &request.body),
         ("POST", "/synthesize") => handle_synthesize(state, &request.body),
         ("GET", "/evaluate") => handle_evaluate(engine),
+        ("GET", "/metrics") => handle_metrics(state),
         ("GET", _) if path.starts_with("/jobs/") => {
             handle_job(jobs, path.strip_prefix("/jobs/").unwrap_or_default())
         }
         ("GET", _) if path.starts_with("/budget/") => {
             handle_budget(engine, path.strip_prefix("/budget/").unwrap_or_default())
         }
-        (_, "/healthz" | "/datasets" | "/synthesize" | "/evaluate") => {
+        (_, "/healthz" | "/datasets" | "/synthesize" | "/evaluate" | "/metrics") => {
             error_body(405, "method_not_allowed", "method not allowed")
         }
         (_, _) if path.starts_with("/jobs/") || path.starts_with("/budget/") => {
@@ -477,15 +533,24 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 state.engine.run(&request, admission)
             }));
+            // The outcome counter ticks before the job flips to its terminal
+            // state, so a client that saw the job finish also sees it counted.
             match run {
-                Ok(Ok(outcome)) => state.jobs.set(job_id, JobState::Completed(outcome)),
-                Ok(Err(e)) => state.jobs.set(job_id, JobState::Failed(e.to_string())),
+                Ok(Ok(outcome)) => {
+                    state.engine.telemetry().record_job_outcome(true);
+                    state.jobs.set(job_id, JobState::Completed(outcome));
+                }
+                Ok(Err(e)) => {
+                    state.engine.telemetry().record_job_outcome(false);
+                    state.jobs.set(job_id, JobState::Failed(e.to_string()));
+                }
                 Err(panic) => {
                     let what = panic
                         .downcast_ref::<&str>()
                         .map(ToString::to_string)
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "synthesis panicked".to_string());
+                    state.engine.telemetry().record_job_outcome(false);
                     state
                         .jobs
                         .set(job_id, JobState::Failed(format!("panic: {what}")));
@@ -496,6 +561,7 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
         // The admission's ε is already journaled; record the failure on the
         // job so the spend stays traceable, and tell the client which job to
         // look at.
+        state.engine.telemetry().record_job_outcome(false);
         state
             .jobs
             .set(job_id, JobState::Failed(format!("spawn failed: {e}")));
@@ -557,6 +623,76 @@ fn handle_evaluate(engine: &Arc<SynthesisEngine>) -> Response {
         })
         .collect();
     ok_json(200, obj(vec![("datasets", Value::Array(datasets))]))
+}
+
+/// `GET /metrics`: the Prometheus text exposition. Live counters and
+/// histograms accumulate on the request path; point-in-time state (ledger
+/// balances, queue depth, slot occupancy, cache size) is refreshed into
+/// gauges here, at scrape time, so there is exactly one renderer.
+fn handle_metrics(state: &Arc<ServerState>) -> Response {
+    let engine = &state.engine;
+    let metrics = engine.telemetry().metrics();
+    for (dataset, status) in engine.ledger().statuses() {
+        let labels: &[(&str, &str)] = &[("dataset", dataset.as_str())];
+        metrics
+            .gauge(
+                "agmdp_epsilon_total",
+                "Registered \u{3b5} budget, per dataset.",
+                labels,
+            )
+            .set(status.total);
+        metrics
+            .gauge(
+                "agmdp_epsilon_spent",
+                "Cumulative \u{3b5} drawn from the ledger, per dataset.",
+                labels,
+            )
+            .set(status.spent);
+        metrics
+            .gauge(
+                "agmdp_epsilon_remaining",
+                "\u{3b5} still available in the ledger, per dataset.",
+                labels,
+            )
+            .set(status.remaining);
+    }
+    let (queued, running) = state.jobs.live_counts();
+    metrics
+        .gauge(
+            "agmdp_jobs_queued",
+            "Synthesis jobs admitted but not yet running.",
+            &[],
+        )
+        .set(queued as f64);
+    metrics
+        .gauge(
+            "agmdp_jobs_running",
+            "Synthesis jobs currently fitting or sampling.",
+            &[],
+        )
+        .set(running as f64);
+    metrics
+        .gauge(
+            "agmdp_job_slots_in_use",
+            "Concurrency slots currently held by synthesis jobs.",
+            &[],
+        )
+        .set(state.active_jobs.load(Ordering::SeqCst) as f64);
+    metrics
+        .gauge(
+            "agmdp_job_slots_max",
+            "Concurrency slot cap (worker threads \u{d7} jobs per worker).",
+            &[],
+        )
+        .set(state.max_jobs as f64);
+    metrics
+        .gauge(
+            "agmdp_fit_cache_entries",
+            "Fitted-parameter cache entries currently resident.",
+            &[],
+        )
+        .set(engine.cache().len() as f64);
+    Response::metrics_text(200, metrics.render())
 }
 
 fn handle_budget(engine: &Arc<SynthesisEngine>, name: &str) -> Response {
@@ -956,6 +1092,61 @@ mod tests {
             },
         );
         assert_eq!(wrong.status, 405);
+    }
+
+    #[test]
+    fn metrics_route_renders_gauges_and_request_counters() {
+        let state = test_state();
+        // Through handle_request so the request counter and latency tick.
+        let health = handle_request(
+            &state,
+            &Request {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(health.status, 200);
+        let metrics = get(&state, "/metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(
+            metrics.body.contains(
+                "agmdp_requests_total{endpoint=\"/healthz\",method=\"GET\",status=\"200\"} 1"
+            ),
+            "{}",
+            metrics.body
+        );
+        assert!(metrics
+            .body
+            .contains("agmdp_request_duration_seconds_count{endpoint=\"/healthz\"} 1"));
+        assert!(metrics
+            .body
+            .contains("agmdp_epsilon_total{dataset=\"toy\"} 10"));
+        assert!(metrics
+            .body
+            .contains("agmdp_epsilon_remaining{dataset=\"toy\"} 10"));
+        assert!(metrics.body.contains("agmdp_job_slots_max 16"));
+        assert!(metrics.body.contains("agmdp_fit_cache_entries 0"));
+        // The exposition goes out as Prometheus text, not JSON.
+        assert!(metrics.content_type.starts_with("text/plain"));
+        // Wrong method gets a 405 like the other fixed routes.
+        let wrong = route(
+            &state,
+            &Request {
+                method: "POST".into(),
+                path: "/metrics".into(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(wrong.status, 405);
+    }
+
+    #[test]
+    fn endpoint_labels_collapse_dynamic_segments() {
+        assert_eq!(endpoint_label("/jobs/42"), "/jobs/:id");
+        assert_eq!(endpoint_label("/budget/lastfm"), "/budget/:name");
+        assert_eq!(endpoint_label("/metrics"), "/metrics");
+        assert_eq!(endpoint_label("/something-else"), "unknown");
     }
 
     #[test]

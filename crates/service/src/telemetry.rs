@@ -1,0 +1,265 @@
+//! Service-side observability: the clock-owning half of the stage-observer
+//! seam, plus the request/engine metric families.
+//!
+//! The deterministic crates emit [`SynthesisStage`] boundaries through
+//! `agmdp_models::observe::StageObserver` without ever reading a clock;
+//! [`StageTimer`] is the implementation that actually calls
+//! `Instant::now`, records the elapsed time into the
+//! `agmdp_stage_duration_seconds` histogram, and writes one JSON span line
+//! per stage. All wall-clock reads of the synthesis path live in this
+//! module (and `server.rs` for whole-request latency) — exactly the lint
+//! boundary `docs/INVARIANTS.md` draws.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use agmdp_models::observe::{StageObserver, SynthesisStage};
+use agmdp_obs::{IdSource, MetricsRegistry, TraceSink, LATENCY_BUCKETS_S};
+
+/// Shared observability state: one metrics registry plus one trace sink,
+/// owned by the engine and shared with the server.
+#[derive(Debug)]
+pub struct Telemetry {
+    metrics: Arc<MetricsRegistry>,
+    sink: TraceSink,
+    request_ids: IdSource,
+    run_ids: IdSource,
+}
+
+impl Telemetry {
+    /// Telemetry writing trace lines through `sink` (metrics are always
+    /// collected; only tracing is optional).
+    #[must_use]
+    pub fn new(sink: TraceSink) -> Self {
+        Self {
+            metrics: Arc::new(MetricsRegistry::new()),
+            sink,
+            request_ids: IdSource::new(),
+            run_ids: IdSource::new(),
+        }
+    }
+
+    /// Metrics-only telemetry: no trace output. The default for embedded
+    /// engines, tests, and benches.
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self::new(TraceSink::disabled())
+    }
+
+    /// The metrics registry backing `GET /metrics`.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The trace sink (copyable handle).
+    #[must_use]
+    pub fn sink(&self) -> TraceSink {
+        self.sink
+    }
+
+    /// Allocates a request ID for the access log.
+    #[must_use]
+    pub fn next_request_id(&self) -> u64 {
+        self.request_ids.next_id()
+    }
+
+    /// Allocates a run ID tying one synthesis run's spans together.
+    #[must_use]
+    pub fn next_run_id(&self) -> u64 {
+        self.run_ids.next_id()
+    }
+
+    /// Records one served request: count by endpoint/method/status, latency
+    /// by endpoint.
+    pub fn record_request(&self, endpoint: &str, method: &str, status: u16, seconds: f64) {
+        self.metrics
+            .counter(
+                "agmdp_requests_total",
+                "Requests served, by endpoint, method, and status.",
+                &[
+                    ("endpoint", endpoint),
+                    ("method", method),
+                    ("status", &status.to_string()),
+                ],
+            )
+            .inc();
+        self.metrics
+            .histogram(
+                "agmdp_request_duration_seconds",
+                "Wall-clock request latency, by endpoint.",
+                &[("endpoint", endpoint)],
+                LATENCY_BUCKETS_S,
+            )
+            .observe(seconds);
+    }
+
+    /// Records a fit-cache admission outcome.
+    pub fn record_fit_cache(&self, hit: bool) {
+        if hit {
+            self.metrics
+                .counter(
+                    "agmdp_fit_cache_hits_total",
+                    "Admissions satisfied by the fitted-parameter cache (no \u{3b5} spent).",
+                    &[],
+                )
+                .inc();
+        } else {
+            self.metrics
+                .counter(
+                    "agmdp_fit_cache_misses_total",
+                    "Admissions that drew \u{3b5} from the ledger for a cold fit.",
+                    &[],
+                )
+                .inc();
+        }
+    }
+
+    /// Records one admission that blocked on an identical in-flight fit.
+    pub fn record_single_flight_wait(&self) {
+        self.metrics
+            .counter(
+                "agmdp_single_flight_waits_total",
+                "Admissions that waited for an identical in-flight fit.",
+                &[],
+            )
+            .inc();
+    }
+
+    /// Records a finished background job.
+    pub fn record_job_outcome(&self, completed: bool) {
+        self.metrics
+            .counter(
+                "agmdp_jobs_finished_total",
+                "Background synthesis jobs finished, by outcome.",
+                &[("outcome", if completed { "completed" } else { "failed" })],
+            )
+            .inc();
+    }
+
+    /// Records one timed pipeline stage (called by [`StageTimer`]).
+    fn record_stage(&self, run_id: u64, stage: SynthesisStage, seconds: f64) {
+        self.metrics
+            .histogram(
+                "agmdp_stage_duration_seconds",
+                "Synthesis pipeline stage durations (fit / attr_sample / edge_sample / rewire / freeze / serialize / score).",
+                &[("stage", stage.name())],
+                LATENCY_BUCKETS_S,
+            )
+            .observe(seconds);
+        self.sink
+            .event("span")
+            .u64("run", run_id)
+            .str("stage", stage.name())
+            .f64("secs", seconds)
+            .emit();
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+/// The clock-owning [`StageObserver`]: stamps `Instant::now` at stage
+/// boundaries and feeds durations into [`Telemetry`]. One instance per
+/// synthesis run; stages arrive strictly paired and non-nested on the
+/// run's thread, so a single slot of interior state suffices.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    telemetry: &'a Telemetry,
+    run_id: u64,
+    current: Mutex<Option<(SynthesisStage, Instant)>>,
+}
+
+impl<'a> StageTimer<'a> {
+    /// A timer reporting into `telemetry` under `run_id`.
+    #[must_use]
+    pub fn new(telemetry: &'a Telemetry, run_id: u64) -> Self {
+        Self {
+            telemetry,
+            run_id,
+            current: Mutex::new(None),
+        }
+    }
+}
+
+impl StageObserver for StageTimer<'_> {
+    fn stage_start(&self, stage: SynthesisStage) {
+        let mut slot = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some((stage, Instant::now()));
+    }
+
+    fn stage_end(&self, stage: SynthesisStage) {
+        let started = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some((open, at)) = started {
+            if open == stage {
+                self.telemetry
+                    .record_stage(self.run_id, stage, at.elapsed().as_secs_f64());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_metrics_accumulate_by_label() {
+        let t = Telemetry::quiet();
+        t.record_request("/healthz", "GET", 200, 0.001);
+        t.record_request("/healthz", "GET", 200, 0.002);
+        t.record_request("/synthesize", "POST", 202, 0.010);
+        let text = t.metrics().render();
+        assert!(text.contains(
+            "agmdp_requests_total{endpoint=\"/healthz\",method=\"GET\",status=\"200\"} 2"
+        ));
+        assert!(text.contains(
+            "agmdp_requests_total{endpoint=\"/synthesize\",method=\"POST\",status=\"202\"} 1"
+        ));
+        assert!(text.contains("agmdp_request_duration_seconds_count{endpoint=\"/healthz\"} 2"));
+    }
+
+    #[test]
+    fn cache_and_wait_counters() {
+        let t = Telemetry::quiet();
+        t.record_fit_cache(false);
+        t.record_fit_cache(true);
+        t.record_fit_cache(true);
+        t.record_single_flight_wait();
+        let text = t.metrics().render();
+        assert!(text.contains("agmdp_fit_cache_hits_total 2"));
+        assert!(text.contains("agmdp_fit_cache_misses_total 1"));
+        assert!(text.contains("agmdp_single_flight_waits_total 1"));
+    }
+
+    #[test]
+    fn stage_timer_records_paired_stages_only() {
+        let t = Telemetry::quiet();
+        let timer = StageTimer::new(&t, 1);
+        timer.stage_start(SynthesisStage::Fit);
+        timer.stage_end(SynthesisStage::Fit);
+        // Unpaired end: ignored.
+        timer.stage_end(SynthesisStage::Rewire);
+        let text = t.metrics().render();
+        assert!(text.contains("agmdp_stage_duration_seconds_count{stage=\"fit\"} 1"));
+        assert!(!text.contains("stage=\"rewire\""));
+    }
+
+    #[test]
+    fn ids_are_independent_streams() {
+        let t = Telemetry::quiet();
+        assert_eq!(t.next_request_id(), 1);
+        assert_eq!(t.next_request_id(), 2);
+        assert_eq!(t.next_run_id(), 1);
+    }
+}

@@ -21,7 +21,8 @@
 //! | [`metrics`] | KS / Hellinger / MRE / assortativity / correlation evaluation statistics |
 //! | [`datasets`] | synthetic stand-ins for the paper's four datasets |
 //! | [`eval`] | declarative, deterministic experiment harness (the paper's evaluation) |
-//! | [`service`] | multi-tenant HTTP synthesis server: budget ledger, fitted-model cache, async jobs |
+//! | [`obs`] | dependency-free metrics registry (Prometheus text exposition) and JSON tracing |
+//! | [`service`] | multi-tenant HTTP synthesis server: budget ledger, fitted-model cache, async jobs, `GET /metrics` |
 //! | [`analysis`] | `agmdp-lint`: static checks for the determinism, ε-flow, and panic-freedom invariants |
 //!
 //! ## Quickstart
@@ -58,6 +59,7 @@ pub use agmdp_eval as eval;
 pub use agmdp_graph as graph;
 pub use agmdp_metrics as metrics;
 pub use agmdp_models as models;
+pub use agmdp_obs as obs;
 pub use agmdp_privacy as privacy;
 pub use agmdp_service as service;
 

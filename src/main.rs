@@ -11,9 +11,9 @@
 //!   between the text and binary (`.agb`) graph formats, either direction.
 //! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
 //!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
-//! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]` — run
-//!   the multi-tenant synthesis server with a persistent privacy-budget
-//!   ledger.
+//! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
+//!   [--quiet]` — run the multi-tenant synthesis server with a persistent
+//!   privacy-budget ledger and a Prometheus `GET /metrics` endpoint.
 //! * `evaluate --plan <file> [--out <dir>] [--markdown <file>] [options]` —
 //!   run a declarative experiment plan (the paper's evaluation) and emit
 //!   per-trial and aggregate artifacts as JSON/CSV/markdown.
@@ -56,6 +56,7 @@ USAGE:
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
+                     [--quiet]
     agmdp evaluate   --plan <plan-file> [--out <dir>] [--markdown <file>]
                      [--repetitions <n>] [--threads <n>] [--seed <s>]
     agmdp lint       [--root <dir>] [--json]
@@ -70,8 +71,11 @@ overrides it. `convert` round-trips losslessly: text -> binary -> text
 reproduces agmdp-written text files byte for byte (hand-authored files
 come back in canonical form with identical content). `serve` exposes the
 JSON endpoints GET /healthz, GET /datasets, POST /datasets,
-POST /synthesize, GET /jobs/:id, GET /budget/:dataset and GET /evaluate;
-POST /datasets 'path' registrations accept both formats.
+POST /synthesize, GET /jobs/:id, GET /budget/:dataset and GET /evaluate,
+plus the Prometheus text exposition at GET /metrics; POST /datasets 'path'
+registrations accept both formats. The server writes one JSON access-log
+line per request (and one span line per synthesis stage) to stderr;
+`serve --quiet` suppresses them without affecting /metrics.
 
 `synthesize --threads <n>` runs the sampling phase on n worker threads; the
 output graph is bit-identical to --threads 1 at the same seed (parameter
@@ -389,24 +393,30 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = args::parse(args, &["--addr", "--threads", "--ledger-path"], &[])?;
+    let flags = args::parse(
+        args,
+        &["--addr", "--threads", "--ledger-path"],
+        &["--quiet"],
+    )?;
     let default = ServiceConfig::default();
     let config = ServiceConfig {
         addr: flags.get("--addr").unwrap_or(&default.addr).to_string(),
         threads: flags.get_parsed_or("--threads", "a positive integer", default.threads)?,
         ledger_path: flags.get("--ledger-path").map(Into::into),
+        quiet: flags.has("--quiet"),
     };
     let handle = service::start(&config).map_err(|e| format!("failed to start server: {e}"))?;
     println!(
-        "agmdp-service listening on http://{} ({} worker threads, ledger: {})",
+        "agmdp-service listening on http://{} ({} worker threads, ledger: {}, access log: {})",
         handle.local_addr(),
         config.threads,
         config
             .ledger_path
             .as_deref()
             .map_or("in-memory".to_string(), |p| p.display().to_string()),
+        if config.quiet { "off" } else { "stderr" },
     );
-    println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset · GET /evaluate");
+    println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset · GET /evaluate · GET /metrics");
     handle.wait();
     Ok(())
 }

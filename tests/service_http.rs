@@ -53,6 +53,29 @@ fn get(addr: SocketAddr, path: &str) -> Reply {
     request(addr, "GET", path, None)
 }
 
+/// Fetches a path and returns the status plus the raw (unparsed) body —
+/// for the non-JSON Prometheus exposition at `GET /metrics`.
+fn get_text(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
 fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
     request(addr, "POST", path, Some(body))
 }
@@ -98,6 +121,7 @@ fn boot(ledger_path: &std::path::Path) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(), // ephemeral port
         threads: 3,
         ledger_path: Some(ledger_path.to_path_buf()),
+        quiet: true,
     })
     .expect("server start")
 }
@@ -239,11 +263,94 @@ fn budget_ledger_enforces_and_survives_restart_over_http() {
 }
 
 #[test]
+fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
+    let server = agmdp::service::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ledger_path: None,
+        quiet: true,
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let graph_text = io::to_text(&agmdp::datasets::toy_social_graph());
+    let register_body = serde_json::to_string(&Value::Object(vec![
+        ("name".to_string(), Value::Str("toy".to_string())),
+        ("budget".to_string(), Value::Float(2.0)),
+        ("graph".to_string(), Value::Str(graph_text)),
+    ]))
+    .unwrap();
+    assert_eq!(post(addr, "/datasets", &register_body).status, 201);
+
+    // A cold job, then an identical repeat: exactly one cache miss (the ε
+    // spend) and one cache hit (free post-processing).
+    let body = r#"{"dataset":"toy","epsilon":0.5,"seed":7}"#;
+    let first = post(addr, "/synthesize", body);
+    assert_eq!(first.status, 202, "{:?}", first.body);
+    assert!(!field_bool(&first.body, "cache_hit"));
+    wait_for_job(addr, field_u64(&first.body, "job_id"));
+    let second = post(addr, "/synthesize", body);
+    assert_eq!(second.status, 202, "{:?}", second.body);
+    assert!(field_bool(&second.body, "cache_hit"));
+    wait_for_job(addr, field_u64(&second.body, "job_id"));
+
+    let budget = get(addr, "/budget/toy");
+    let spent = field_f64(&budget.body, "spent");
+    let remaining = field_f64(&budget.body, "remaining");
+
+    let (status, text) = get_text(addr, "/metrics");
+    assert_eq!(status, 200);
+    // Request counts by endpoint, method, and status...
+    assert!(
+        text.contains(
+            "agmdp_requests_total{endpoint=\"/synthesize\",method=\"POST\",status=\"202\"} 2"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "agmdp_requests_total{endpoint=\"/datasets\",method=\"POST\",status=\"201\"} 1"
+        ),
+        "{text}"
+    );
+    // ...exactly one cold fit and one cache hit, both jobs completed...
+    assert!(text.contains("agmdp_fit_cache_misses_total 1"), "{text}");
+    assert!(text.contains("agmdp_fit_cache_hits_total 1"), "{text}");
+    assert!(
+        text.contains("agmdp_jobs_finished_total{outcome=\"completed\"} 2"),
+        "{text}"
+    );
+    // ...the fit stage timed exactly once (the hit skipped learning)...
+    assert!(
+        text.contains("agmdp_stage_duration_seconds_count{stage=\"fit\"} 1"),
+        "{text}"
+    );
+    // ...and ledger gauges agreeing with GET /budget/toy.
+    assert!(
+        text.contains("agmdp_epsilon_total{dataset=\"toy\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("agmdp_epsilon_spent{{dataset=\"toy\"}} {spent}")),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "agmdp_epsilon_remaining{{dataset=\"toy\"}} {remaining}"
+        )),
+        "{text}"
+    );
+
+    server.stop();
+}
+
+#[test]
 fn malformed_requests_are_rejected_cleanly() {
     let server = agmdp::service::start(&ServiceConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         ledger_path: None,
+        quiet: true,
     })
     .expect("server start");
     let addr = server.local_addr();
