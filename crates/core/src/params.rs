@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use agmdp_graph::degree::DegreeSequence;
 use agmdp_graph::triangles::count_triangles;
-use agmdp_graph::{AttributeSchema, GraphView};
+use agmdp_graph::{AttributeSchema, Edge, GraphView};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -109,6 +109,28 @@ impl ThetaF {
         let counts = edge_config_counts(graph);
         Self {
             schema: graph.schema(),
+            probabilities: agmdp_privacy::postprocess::normalize(&counts),
+        }
+    }
+
+    /// [`ThetaF::from_graph`] computed straight from an edge list and the
+    /// per-node attribute codes, without an adjacency structure. Equals
+    /// `from_graph` on the graph those edges and codes describe — Θ_F only
+    /// counts edge configurations, so the refinement loop of Algorithm 3 can
+    /// observe intermediate samples it never materialises.
+    ///
+    /// `codes[i]` must be a valid node configuration for `schema` and every
+    /// endpoint must index into `codes`; both hold by construction for edge
+    /// lists produced by a [`agmdp_models::StructuralModel`] fed the same
+    /// code vector.
+    #[must_use]
+    pub fn from_edges(schema: AttributeSchema, codes: &[u32], edges: &[Edge]) -> Self {
+        let mut counts = vec![0.0; schema.num_edge_configs()];
+        for e in edges {
+            counts[schema.edge_config(codes[e.u as usize], codes[e.v as usize])] += 1.0;
+        }
+        Self {
+            schema,
             probabilities: agmdp_privacy::postprocess::normalize(&counts),
         }
     }

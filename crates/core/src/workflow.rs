@@ -301,20 +301,34 @@ pub fn synthesize_from_parameters_observed<R: Rng>(
     );
     observer.stage_end(SynthesisStage::AttrSample);
 
-    // Temporary edge set E', independent of the attributes.
-    let temp = model.generate_par_observed(&policy, rng, observer)?;
-    let mut current = attach_attributes(&temp, params.schema, &codes)?;
+    // Temporary edge set E', independent of the attributes. With no
+    // refinement iterations it *is* the release and must be materialised;
+    // otherwise only its Θ_F is observed, so the edge list suffices and the
+    // model may skip building the graph (the stream-identity contract of
+    // `generate_edge_list_par_observed` guarantees the same sample either
+    // way).
+    if config.refinement_iterations == 0 {
+        let temp = model.generate_par_observed(&policy, rng, observer)?;
+        return Ok(temp.with_attributes(params.schema, &codes)?);
+    }
+    let mut current = model.generate_edge_list_par_observed(&policy, rng, observer)?;
 
     let mut previous_acceptance: Option<Vec<f64>> = None;
-    for _ in 0..config.refinement_iterations {
-        let observed = ThetaF::from_graph(&current);
+    for iteration in 0..config.refinement_iterations {
+        let observed = ThetaF::from_edges(params.schema, &codes, &current);
         let acceptance =
             acceptance_probabilities(&params.theta_f, &observed, previous_acceptance.as_deref());
         let ctx = AcceptanceContext::new(codes.clone(), params.schema, acceptance.clone())?;
-        current = model.generate_with_acceptance_par_observed(&ctx, &policy, rng, observer)?;
+        // Only the last iteration's sample is released; the earlier ones are
+        // observed and discarded, so they stay edge lists.
+        if iteration + 1 == config.refinement_iterations {
+            return Ok(model.generate_with_acceptance_par_observed(&ctx, &policy, rng, observer)?);
+        }
+        current =
+            model.generate_with_acceptance_edge_list_par_observed(&ctx, &policy, rng, observer)?;
         previous_acceptance = Some(acceptance);
     }
-    Ok(current)
+    unreachable!("the refinement loop returns on its last iteration")
 }
 
 /// The complete AGM / AGM-DP pipeline: learn parameters, then synthesize one
@@ -352,19 +366,6 @@ pub fn synthesize<R: Rng>(
 
 /// Copies an edge set into a new graph that carries the given schema and
 /// attribute codes.
-fn attach_attributes(
-    edges: &AttributedGraph,
-    schema: AttributeSchema,
-    codes: &[u32],
-) -> Result<AttributedGraph> {
-    let mut g = AttributedGraph::new(edges.num_nodes(), schema);
-    g.set_all_attribute_codes(codes)?;
-    for e in edges.edges() {
-        g.add_edge(e.u, e.v)?;
-    }
-    Ok(g)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

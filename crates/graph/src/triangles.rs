@@ -12,33 +12,66 @@ use crate::view::GraphView;
 
 /// Counts the triangles in `g`.
 ///
-/// Uses the standard neighbor-merge algorithm: for every edge `(u, v)` with
-/// `u < v`, count common neighbors `w > v` so each triangle is counted exactly
-/// once. Runs in `O(sum_e (d_u + d_v))`.
+/// Uses the forward (degree-oriented) algorithm: every edge is oriented from
+/// its lower-`(degree, id)` endpoint to its higher one, which gives each
+/// triangle exactly one vertex with out-edges to the other two. Intersections
+/// are stamp-array lookups rather than sorted merges, and every out-degree is
+/// `O(sqrt(m))`, so the whole count runs in `O(m^{3/2})` — far below the
+/// `O(sum_v d_v^2)` of pairwise neighbor merges on skewed degree sequences.
 #[must_use]
 pub fn count_triangles<G: GraphView>(g: &G) -> u64 {
+    let (offsets, out) = oriented_out_edges(g);
+    let n = g.num_nodes();
+    let mut stamp = vec![u32::MAX; n];
     let mut total = 0u64;
-    for u in g.nodes() {
-        let nbrs_u = g.neighbors(u);
-        for &v in nbrs_u.iter().filter(|&&v| v > u) {
-            // Merge-count common neighbors strictly greater than v.
-            let nbrs_v = g.neighbors(v);
-            let mut i = nbrs_u.partition_point(|&x| x <= v);
-            let mut j = nbrs_v.partition_point(|&x| x <= v);
-            while i < nbrs_u.len() && j < nbrs_v.len() {
-                match nbrs_u[i].cmp(&nbrs_v[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        total += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
+    for u in 0..n {
+        let fwd = &out[offsets[u] as usize..offsets[u + 1] as usize];
+        if fwd.len() < 2 {
+            continue;
+        }
+        for &w in fwd {
+            stamp[w as usize] = u as u32;
+        }
+        for &v in fwd {
+            for &w in &out[offsets[v as usize] as usize..offsets[v as usize + 1] as usize] {
+                total += u64::from(stamp[w as usize] == u as u32);
             }
         }
     }
     total
+}
+
+/// Builds the CSR out-adjacency of the degree orientation: edge `{u, v}` is
+/// stored under `u` iff `(d_u, u) < (d_v, v)`. Out-lists inherit the sorted
+/// order of the underlying neighbor lists.
+fn oriented_out_edges<G: GraphView>(g: &G) -> (Vec<u32>, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let deg: Vec<u32> = (0..n).map(|v| g.degree(v as NodeId) as u32).collect();
+    let mut offsets = vec![0u32; n + 1];
+    for u in 0..n {
+        let ru = (deg[u], u as u32);
+        let fwd = g
+            .neighbors(u as NodeId)
+            .iter()
+            .filter(|&&v| ru < (deg[v as usize], v))
+            .count();
+        offsets[u + 1] = fwd as u32;
+    }
+    for u in 0..n {
+        offsets[u + 1] += offsets[u];
+    }
+    let mut out = vec![0 as NodeId; offsets[n] as usize];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for u in 0..n {
+        let ru = (deg[u], u as u32);
+        for &v in g.neighbors(u as NodeId) {
+            if ru < (deg[v as usize], v) {
+                out[cursor[u] as usize] = v;
+                cursor[u] += 1;
+            }
+        }
+    }
+    (offsets, out)
 }
 
 /// Counts the wedges (length-two paths) in `g`: `sum_v C(d_v, 2)`.
@@ -58,16 +91,25 @@ pub fn count_wedges<G: GraphView>(g: &G) -> u64 {
 /// `v`; summing over all nodes counts each triangle three times.
 #[must_use]
 pub fn triangles_per_node<G: GraphView>(g: &G) -> Vec<u64> {
-    let mut counts = vec![0u64; g.num_nodes()];
-    for u in g.nodes() {
-        let nbrs_u = g.neighbors(u);
-        for &v in nbrs_u.iter().filter(|&&v| v > u) {
-            let common = common_after(g, u, v, v);
-            // Each common neighbor w > v closes a triangle {u, v, w}.
-            for &w in &common {
-                counts[u as usize] += 1;
-                counts[v as usize] += 1;
-                counts[w as usize] += 1;
+    let (offsets, out) = oriented_out_edges(g);
+    let n = g.num_nodes();
+    let mut stamp = vec![u32::MAX; n];
+    let mut counts = vec![0u64; n];
+    for u in 0..n {
+        let fwd = &out[offsets[u] as usize..offsets[u + 1] as usize];
+        if fwd.len() < 2 {
+            continue;
+        }
+        for &w in fwd {
+            stamp[w as usize] = u as u32;
+        }
+        for &v in fwd {
+            for &w in &out[offsets[v as usize] as usize..offsets[v as usize + 1] as usize] {
+                if stamp[w as usize] == u as u32 {
+                    counts[u] += 1;
+                    counts[v as usize] += 1;
+                    counts[w as usize] += 1;
+                }
             }
         }
     }
@@ -90,26 +132,6 @@ pub fn max_triangles_on_any_edge<G: GraphView>(g: &G) -> usize {
         .map(|e| g.common_neighbor_count(e.u, e.v))
         .max()
         .unwrap_or(0)
-}
-
-fn common_after<G: GraphView>(g: &G, u: NodeId, v: NodeId, after: NodeId) -> Vec<NodeId> {
-    let nbrs_u = g.neighbors(u);
-    let nbrs_v = g.neighbors(v);
-    let mut i = nbrs_u.partition_point(|&x| x <= after);
-    let mut j = nbrs_v.partition_point(|&x| x <= after);
-    let mut out = Vec::new();
-    while i < nbrs_u.len() && j < nbrs_v.len() {
-        match nbrs_u[i].cmp(&nbrs_v[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(nbrs_u[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 use rand::Rng;
 use rand::RngCore;
 
-use agmdp_graph::{AttributeSchema, AttributedGraph, NodeId};
+use agmdp_graph::{AttributeSchema, AttributedGraph, Edge, NodeId};
 
 use crate::error::ModelError;
 use crate::observe::{StageObserver, SynthesisStage};
@@ -178,6 +178,43 @@ pub trait StructuralModel {
         let result = self.generate_with_acceptance_par(ctx, policy, rng);
         observer.stage_end(SynthesisStage::EdgeSample);
         result
+    }
+
+    /// [`StructuralModel::generate_par_observed`], stopping at the edge
+    /// list. For callers that only inspect the edge multiset and discard
+    /// the sample — the AGM refinement loop observes Θ_F of each
+    /// intermediate graph and never reads its adjacency — a model may
+    /// override this to skip materialising the graph.
+    ///
+    /// Contract: the RNG stream consumed and the edge *set* returned must
+    /// be identical to [`StructuralModel::generate_par_observed`] at the
+    /// same state (only the enumeration order may differ), so switching a
+    /// call site between the two variants can never change downstream
+    /// output. The default delegates to the graph path.
+    fn generate_edge_list_par_observed(
+        &self,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<Vec<Edge>> {
+        Ok(self
+            .generate_par_observed(policy, rng, observer)?
+            .edge_vec())
+    }
+
+    /// [`StructuralModel::generate_with_acceptance_par_observed`], stopping
+    /// at the edge list, under the same stream-identity contract as
+    /// [`StructuralModel::generate_edge_list_par_observed`].
+    fn generate_with_acceptance_edge_list_par_observed(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<Vec<Edge>> {
+        Ok(self
+            .generate_with_acceptance_par_observed(ctx, policy, rng, observer)?
+            .edge_vec())
     }
 }
 

@@ -21,7 +21,7 @@ use agmdp_graph::{AttributeSchema, AttributedGraph};
 use crate::acceptance::{AcceptanceContext, StructuralModel};
 use crate::error::ModelError;
 use crate::observe::{NoopStageObserver, StageObserver, SynthesisStage};
-use crate::parallel::{chunk_rng, run_chunks, ExecPolicy};
+use crate::parallel::{chunk_rng, run_chunks, BlockRng, ExecPolicy};
 use crate::pi::PiSampler;
 use crate::postprocess::wire_orphans;
 use crate::Result;
@@ -76,16 +76,29 @@ pub(crate) fn sample_cl_edges(
 ///
 /// Proposals are generated round by round: every round proposes
 /// `ROUND_OVERSAMPLE ×` the missing edge count, split into fixed-size chunks.
-/// Each chunk draws from its own [`chunk_rng`] stream and filters proposals
-/// against the *pre-round* graph snapshot (self-loops, existing edges,
-/// acceptance coin); the surviving candidates are then merged serially in
-/// chunk order, skipping intra-round duplicates, until the target is reached.
+/// Each chunk wraps its own [`chunk_rng`] stream in a [`BlockRng`] (ChaCha
+/// output pulled in 1 KiB blocks instead of word-at-a-time) and runs three
+/// cache-friendly passes over a flat, pre-sized proposal buffer:
 ///
-/// The chunk layout and merge order depend only on the target and the master
-/// seed drawn from `rng`, so the output is **bit-identical for every thread
-/// count** — including `threads = 1`, which runs the same chunk sequence
-/// inline. (The stream differs from the serial [`sample_cl_edges`], which
-/// redraws rejected proposals from a single sequential RNG.)
+/// 1. **Propose** — fill the buffer with π-sampled endpoint pairs in one
+///    tight loop (the alias table and the RNG block stay hot in cache).
+/// 2. **Filter** — drop self-loops and edges already accepted in earlier
+///    rounds, by binary search over a flat sorted array of packed edge keys
+///    (skipped entirely against an empty snapshot, which is every proposal
+///    of the first round). No randomness is consumed.
+/// 3. **Accept** — flip the AGM acceptance coin for each surviving pair
+///    from the same chunk stream.
+///
+/// The surviving candidates are then merged serially in chunk order,
+/// skipping intra-round duplicates, until the target is reached.
+///
+/// The chunk layout, per-chunk draw sequence and merge order depend only on
+/// the target and the master seed drawn from `rng`, so the output is
+/// **bit-identical for every thread count** — including `threads = 1`,
+/// which runs the same chunk sequence inline. (The stream differs from the
+/// serial [`sample_cl_edges`], which redraws rejected proposals from a
+/// single sequential RNG — and the per-draw sequence itself is pinned by
+/// the goldens; see `docs/ARCHITECTURE.md`.)
 pub(crate) fn sample_cl_edges_chunked(
     n: usize,
     pi: &PiSampler,
@@ -95,14 +108,43 @@ pub(crate) fn sample_cl_edges_chunked(
     policy: &ExecPolicy,
     rng: &mut dyn RngCore,
 ) -> (AttributedGraph, Vec<Edge>) {
+    let order = sample_cl_edge_list_chunked(pi, target_edges, acceptance, policy, rng);
+    let graph = AttributedGraph::from_unique_edges(n, schema, &order)
+        .expect("sampled edges are deduplicated, in range and loop-free");
+    (graph, order)
+}
+
+/// The sampling core of [`sample_cl_edges_chunked`], stopping at the
+/// deduplicated edge list: same chunk layout, same draw sequence, same
+/// accepted edges in the same order — the adjacency structure is just never
+/// materialised. Callers that only need the edge multiset (the AGM
+/// refinement loop observes Θ_F of intermediate samples and discards them)
+/// use this to skip the `O(n + m)` graph build.
+pub(crate) fn sample_cl_edge_list_chunked(
+    pi: &PiSampler,
+    target_edges: usize,
+    acceptance: Option<&AcceptanceContext>,
+    policy: &ExecPolicy,
+    rng: &mut dyn RngCore,
+) -> Vec<Edge> {
     let master = rng.next_u64();
-    let mut graph = AttributedGraph::new(n, schema);
-    let mut order = Vec::with_capacity(target_edges);
+    let mut order: Vec<Edge> = Vec::with_capacity(target_edges);
+    // Canonical packed keys of every accepted edge, kept sorted between
+    // rounds: later rounds' structural filter binary-searches this flat
+    // array instead of walking per-node adjacency lists, and the graph
+    // itself is only materialised once, after sampling finishes.
+    let mut accepted_keys: Vec<u64> = Vec::with_capacity(target_edges);
     let max_attempts = MAX_ATTEMPT_FACTOR
         .saturating_mul(target_edges)
         .saturating_add(1_000);
     let mut attempts = 0usize;
     let mut next_chunk = 0u64;
+    // Round-scratch buffers, allocated once and reused: dense workloads
+    // converge through a geometric tail of tiny rounds, and per-round
+    // allocations would dominate those rounds' real work.
+    let mut candidates: Vec<Edge> = Vec::new();
+    let mut by_key: Vec<(u64, u32)> = Vec::new();
+    let mut first_arrival: Vec<bool> = Vec::new();
     while order.len() < target_edges && attempts < max_attempts {
         let missing = target_edges - order.len();
         let proposals = missing
@@ -111,47 +153,108 @@ pub(crate) fn sample_cl_edges_chunked(
             .max(1);
         let chunk_size = policy.chunk_size();
         let num_chunks = proposals.div_ceil(chunk_size);
-        let snapshot = &graph;
+        let snapshot = &accepted_keys;
         let round_base = next_chunk;
         let batches = run_chunks(policy.threads(), num_chunks, |chunk| {
-            let mut chunk_rng = chunk_rng(master, round_base + chunk as u64);
+            let mut chunk_rng = BlockRng::new(chunk_rng(master, round_base + chunk as u64));
             let count = if chunk + 1 == num_chunks {
                 proposals - chunk * chunk_size
             } else {
                 chunk_size
             };
-            let mut survivors = Vec::new();
+            // Pass 1: flat proposal buffer, sized once.
+            let mut survivors: Vec<Edge> = Vec::with_capacity(count);
             for _ in 0..count {
                 let u = pi.sample(&mut chunk_rng);
                 let v = pi.sample(&mut chunk_rng);
-                if u == v || snapshot.has_edge(u, v) {
-                    continue;
-                }
-                if let Some(ctx) = acceptance {
-                    if !ctx.accepts(u, v, &mut chunk_rng) {
-                        continue;
-                    }
-                }
                 survivors.push(Edge::new(u, v));
+            }
+            // Pass 2: structural filter (consumes no randomness; the
+            // empty-snapshot skip therefore cannot change the stream).
+            if snapshot.is_empty() {
+                survivors.retain(|e| e.u != e.v);
+            } else {
+                survivors.retain(|e| e.u != e.v && snapshot.binary_search(&edge_key(e)).is_err());
+            }
+            // Pass 3: acceptance coins, drawn from the same chunk stream.
+            if let Some(ctx) = acceptance {
+                survivors.retain(|e| ctx.accepts(e.u, e.v, &mut chunk_rng));
             }
             survivors
         });
         next_chunk += num_chunks as u64;
         attempts += proposals;
-        'merge: for batch in batches {
-            for e in batch {
-                if order.len() >= target_edges {
-                    break 'merge;
-                }
-                // Intra-round duplicates were invisible to the snapshot
-                // filter; the serial merge catches them here.
-                if graph.try_add_edge(e.u, e.v).expect("endpoints in range") {
-                    order.push(e);
-                }
+        // Serial merge in chunk order. Intra-round duplicates were invisible
+        // to the snapshot filter; a sort over (key, arrival index) finds each
+        // key's first arrival, which replicates one-at-a-time insertion
+        // exactly — same edges kept, in the same order — without paying a
+        // per-edge adjacency insertion.
+        candidates.clear();
+        candidates.extend(batches.into_iter().flatten());
+        by_key.clear();
+        by_key.extend(
+            candidates
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (edge_key(e), i as u32)),
+        );
+        by_key.sort_unstable();
+        first_arrival.clear();
+        first_arrival.resize(candidates.len(), false);
+        let mut prev_key = None;
+        for &(key, idx) in &by_key {
+            if prev_key != Some(key) {
+                prev_key = Some(key);
+                first_arrival[idx as usize] = true;
             }
         }
+        let split = accepted_keys.len();
+        for (i, e) in candidates.iter().enumerate() {
+            if order.len() >= target_edges {
+                break;
+            }
+            if first_arrival[i] {
+                accepted_keys.push(edge_key(e));
+                order.push(*e);
+            }
+        }
+        // This round's keys form a small unsorted tail behind an already
+        // sorted prefix: sort the tail and merge in place instead of
+        // re-sorting the whole array every round.
+        accepted_keys[split..].sort_unstable();
+        merge_sorted_tail(&mut accepted_keys, split);
     }
-    (graph, order)
+    order
+}
+
+/// Merges a sorted `keys[..split]` prefix with a sorted `keys[split..]` tail
+/// in place (backward two-pointer merge; only elements larger than the
+/// tail's minimum move). The two runs are disjoint by construction here, but
+/// the merge is correct for any sorted runs.
+fn merge_sorted_tail(keys: &mut [u64], split: usize) {
+    if split == 0 || split == keys.len() || keys[split - 1] <= keys[split] {
+        return;
+    }
+    let tail: Vec<u64> = keys[split..].to_vec();
+    let mut i = split; // unmerged prefix length
+    let mut j = tail.len(); // unmerged tail length
+    let mut k = keys.len();
+    while j > 0 {
+        if i > 0 && keys[i - 1] > tail[j - 1] {
+            keys[k - 1] = keys[i - 1];
+            i -= 1;
+        } else {
+            keys[k - 1] = tail[j - 1];
+            j -= 1;
+        }
+        k -= 1;
+    }
+}
+
+/// Canonical `u < v` edge packed into one comparable word.
+#[inline]
+fn edge_key(e: &Edge) -> u64 {
+    (u64::from(e.u) << 32) | u64::from(e.v)
 }
 
 /// The Chung-Lu / FCL structural model.
@@ -176,6 +279,10 @@ pub(crate) fn sample_cl_edges_chunked(
 #[derive(Debug, Clone)]
 pub struct ChungLuModel {
     degrees: Vec<usize>,
+    /// The π alias table, built once at construction and shared by every
+    /// generate call (the AGM workflow samples from the same model four
+    /// times per synthesis: the temporary edge set plus each refinement).
+    pi: PiSampler,
     target_edges: usize,
     postprocess_orphans: bool,
 }
@@ -192,8 +299,10 @@ impl ChungLuModel {
             ));
         }
         let target_edges = (total as f64 / 2.0).round() as usize;
+        let pi = PiSampler::from_degrees(&degrees)?;
         Ok(Self {
             degrees,
+            pi,
             target_edges,
             postprocess_orphans: false,
         })
@@ -231,12 +340,12 @@ impl ChungLuModel {
         observer: &dyn StageObserver,
     ) -> Result<AttributedGraph> {
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
-        let pi = PiSampler::from_degrees(&self.degrees)?;
+        let pi = &self.pi;
         observer.stage_start(SynthesisStage::EdgeSample);
         let (mut graph, _order) = match policy {
             Some(policy) => sample_cl_edges_chunked(
                 self.degrees.len(),
-                &pi,
+                pi,
                 self.target_edges,
                 schema,
                 acceptance,
@@ -245,7 +354,7 @@ impl ChungLuModel {
             ),
             None => sample_cl_edges(
                 self.degrees.len(),
-                &pi,
+                pi,
                 self.target_edges,
                 schema,
                 acceptance,
@@ -260,10 +369,29 @@ impl ChungLuModel {
         applied?;
         if self.postprocess_orphans {
             observer.stage_start(SynthesisStage::Rewire);
-            wire_orphans(&mut graph, &self.degrees, &pi, rng);
+            wire_orphans(&mut graph, &self.degrees, pi, rng);
             observer.stage_end(SynthesisStage::Rewire);
         }
         Ok(graph)
+    }
+
+    /// Edge-list-only generation body: the chunked sampler without the final
+    /// adjacency build. Only valid when orphan post-processing is off —
+    /// Algorithm 2 rewires *through* the graph (and draws from the same RNG),
+    /// so callers with orphans enabled must take [`Self::generate_inner`].
+    fn generate_edge_list_inner(
+        &self,
+        acceptance: Option<&AcceptanceContext>,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<Vec<Edge>> {
+        debug_assert!(!self.postprocess_orphans);
+        observer.stage_start(SynthesisStage::EdgeSample);
+        let order =
+            sample_cl_edge_list_chunked(&self.pi, self.target_edges, acceptance, policy, rng);
+        observer.stage_end(SynthesisStage::EdgeSample);
+        Ok(order)
     }
 }
 
@@ -317,6 +445,39 @@ impl StructuralModel for ChungLuModel {
     ) -> Result<AttributedGraph> {
         ctx.check_node_count(self.degrees.len())?;
         self.generate_inner(Some(ctx), Some(policy), rng, observer)
+    }
+
+    fn generate_edge_list_par_observed(
+        &self,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<Vec<Edge>> {
+        if self.postprocess_orphans {
+            // Orphan rewiring needs (and mutates) the adjacency structure:
+            // take the graph path so the RNG stream and edge set stay
+            // identical to the graph-returning variant.
+            return Ok(self
+                .generate_inner(None, Some(policy), rng, observer)?
+                .edge_vec());
+        }
+        self.generate_edge_list_inner(None, policy, rng, observer)
+    }
+
+    fn generate_with_acceptance_edge_list_par_observed(
+        &self,
+        ctx: &AcceptanceContext,
+        policy: &ExecPolicy,
+        rng: &mut dyn RngCore,
+        observer: &dyn StageObserver,
+    ) -> Result<Vec<Edge>> {
+        ctx.check_node_count(self.degrees.len())?;
+        if self.postprocess_orphans {
+            return Ok(self
+                .generate_inner(Some(ctx), Some(policy), rng, observer)?
+                .edge_vec());
+        }
+        self.generate_edge_list_inner(Some(ctx), policy, rng, observer)
     }
 }
 

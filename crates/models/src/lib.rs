@@ -4,8 +4,9 @@
 //! (Section 3.3 of the paper):
 //!
 //! * [`pi`] — the Chung-Lu node-sampling distribution π (probability of a node
-//!   proportional to its desired degree), implemented as the FCL repeated-id
-//!   pool so samples take constant time.
+//!   proportional to its desired degree), implemented as a Walker alias table
+//!   (`O(n)` memory, integer-exact construction) so samples take constant
+//!   time without the FCL repeated-id pool's `O(2m)` footprint.
 //! * [`chung_lu`] — the Fast Chung-Lu (FCL) edge sampler, with optional
 //!   AGM acceptance probabilities.
 //! * [`tcl`] — the Transitive Chung-Lu model of Pfeiffer et al. with its
@@ -21,8 +22,9 @@
 //!   acceptance-probability context through which AGM-DP plugs the learned
 //!   attribute correlations into any structural model.
 //! * [`parallel`] — the deterministic parallel synthesis engine: a chunked
-//!   work-stealing executor plus the per-chunk RNG derivation that makes
-//!   multi-threaded sampling bit-identical to single-threaded sampling.
+//!   work-stealing executor, the per-chunk RNG derivation that makes
+//!   multi-threaded sampling bit-identical to single-threaded sampling, and
+//!   the [`parallel::BlockRng`] buffer that batches ChaCha output per chunk.
 //! * [`observe`] — the clock-free [`observe::StageObserver`] hooks through
 //!   which the service layer times pipeline stages without this crate ever
 //!   reading a wall clock.
@@ -47,8 +49,8 @@ pub use acceptance::{AcceptanceContext, StructuralModel};
 pub use chung_lu::ChungLuModel;
 pub use error::ModelError;
 pub use observe::{NoopStageObserver, StageObserver, SynthesisStage};
-pub use parallel::ExecPolicy;
-pub use pi::PiSampler;
+pub use parallel::{BlockRng, ExecPolicy};
+pub use pi::{AliasSlot, AliasTable, PiSampler};
 pub use tcl::TclModel;
 pub use tricycle::TriCycLeModel;
 

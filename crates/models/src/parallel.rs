@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// How chunked synthesis is executed: the thread count (scheduling only —
 /// never affects output) and the chunk size (part of the output-defining
@@ -135,6 +135,90 @@ pub fn derive_chunk_seed(master: u64, chunk_index: u64) -> u64 {
 #[must_use]
 pub fn chunk_rng(master: u64, chunk_index: u64) -> StdRng {
     StdRng::seed_from_u64(derive_chunk_seed(master, chunk_index))
+}
+
+/// Number of `u64` draws a [`BlockRng`] buffers per refill (1 KiB of
+/// randomness, i.e. 16 ChaCha blocks worth — small enough to stay L1
+/// resident next to the proposal buffer, large enough to amortise the
+/// per-call dispatch of word-at-a-time draws).
+pub const BLOCK_DRAWS: usize = 128;
+
+/// A fixed-size block buffer over an inner RNG stream.
+///
+/// Instead of pulling one ChaCha word pair per `next_u64` call, the buffer
+/// refills [`BLOCK_DRAWS`] draws at a time in one tight loop and hands them
+/// out from a local array. The **values** delivered are bit-identical to
+/// calling `next_u64` on the inner RNG directly, in the same order — the
+/// buffer is purely a batching layer, which is what keeps the per-chunk
+/// stream contract of [`chunk_rng`] intact when `sample_cl_edges_chunked`
+/// wraps each chunk stream in a `BlockRng`. (The inner stream is *consumed*
+/// in block-sized strides, so the final partial block reads ahead of what
+/// the caller has drawn; that is invisible because each chunk's RNG is
+/// dropped with its chunk and nothing else ever resumes the stream.)
+///
+/// Granularity is `u64`: `next_u32` takes the low half of a buffered `u64`
+/// (consuming the whole draw) and `fill_bytes` goes through buffered `u64`s
+/// too, so every method consumes whole 64-bit draws from the same sequence.
+///
+/// ```
+/// use agmdp_models::parallel::{chunk_rng, BlockRng};
+/// use rand::RngCore;
+///
+/// let mut buffered = BlockRng::new(chunk_rng(7, 0));
+/// let mut direct = chunk_rng(7, 0);
+/// for _ in 0..300 {
+///     assert_eq!(buffered.next_u64(), direct.next_u64());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockRng<R: RngCore> {
+    inner: R,
+    buf: [u64; BLOCK_DRAWS],
+    /// Next unread index into `buf`; `BLOCK_DRAWS` means "empty, refill".
+    pos: usize,
+}
+
+impl<R: RngCore> BlockRng<R> {
+    /// Wraps `inner`, delivering its `next_u64` sequence in buffered blocks.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: [0; BLOCK_DRAWS],
+            pos: BLOCK_DRAWS,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        for slot in &mut self.buf {
+            *slot = self.inner.next_u64();
+        }
+        self.pos = 0;
+    }
+}
+
+impl<R: RngCore> RngCore for BlockRng<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == BLOCK_DRAWS {
+            self.refill();
+        }
+        let draw = self.buf[self.pos];
+        self.pos += 1;
+        draw
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
 }
 
 /// Runs `job(0..num_chunks)` on up to `threads` workers and returns the
@@ -359,6 +443,51 @@ mod tests {
             range.map(|_| rng.next_u32()).collect()
         });
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn block_rng_matches_unbuffered_draws_at_awkward_lengths() {
+        // Regression (block-refill at chunk boundaries): for any number of
+        // draws — including 0, 1, and every boundary around the block size —
+        // the buffered values must equal word-at-a-time draws from the same
+        // ChaCha stream. A refill that skipped, reordered, or re-seeded
+        // would diverge at one of these lengths.
+        for len in [
+            0,
+            1,
+            BLOCK_DRAWS - 1,
+            BLOCK_DRAWS,
+            BLOCK_DRAWS + 1,
+            3 * BLOCK_DRAWS - 1,
+            3 * BLOCK_DRAWS + 1,
+        ] {
+            let mut buffered = BlockRng::new(chunk_rng(42, 9));
+            let mut direct = chunk_rng(42, 9);
+            for i in 0..len {
+                assert_eq!(
+                    buffered.next_u64(),
+                    direct.next_u64(),
+                    "divergence at draw {i} of {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_rng_u32_and_bytes_consume_whole_draws() {
+        // next_u32 is the low half of a whole buffered u64, and fill_bytes
+        // consumes u64-sized strides: interleaving them with next_u64 stays
+        // on the single buffered sequence.
+        let mut buffered = BlockRng::new(chunk_rng(1, 2));
+        let mut reference = chunk_rng(1, 2);
+        assert_eq!(buffered.next_u32(), reference.next_u64() as u32);
+        assert_eq!(buffered.next_u64(), reference.next_u64());
+        let mut bytes = [0u8; 12]; // 1.5 draws -> consumes 2 whole draws
+        buffered.fill_bytes(&mut bytes);
+        let (a, b) = (reference.next_u64(), reference.next_u64());
+        assert_eq!(&bytes[..8], &a.to_le_bytes());
+        assert_eq!(&bytes[8..], &b.to_le_bytes()[..4]);
+        assert_eq!(buffered.next_u64(), reference.next_u64());
     }
 
     #[test]

@@ -2,8 +2,16 @@
 //!
 //! In the CL model an edge endpoint is drawn with probability proportional to
 //! its desired degree, `π(i) = d_i / 2m`. The Fast Chung-Lu implementation
-//! (\[28\] in the paper) materialises a pool containing each node id repeated
-//! `d_i` times, so a sample is a single uniform draw from the pool.
+//! (\[28\] in the paper) historically materialised a pool containing each
+//! node id repeated `d_i` times; this module replaces that `O(2m)`-entry pool
+//! with a **Walker alias table** ([`AliasTable`]): `O(n)` memory, `O(n)`
+//! construction, still `O(1)` per draw, and the whole table fits in cache at
+//! sizes where the repeated-id pool was a ~100 MB random-access array.
+//!
+//! The split of each node's probability mass across table slots is computed
+//! in **exact integer arithmetic** (weights scaled by the slot count), so the
+//! table's implied per-node masses reconstruct `d_i / 2m` with no floating
+//! point involved — see `crates/models/tests/sampler_stats.rs`.
 //!
 //! The orphan-node extension of Section 3.3 excludes degree-one nodes from π
 //! (they cannot participate in triangles and would mostly end up orphaned);
@@ -16,7 +24,231 @@ use agmdp_graph::NodeId;
 use crate::error::ModelError;
 use crate::Result;
 
-/// Constant-time sampler for the degree-proportional distribution π.
+/// One slot of a [`AliasTable`]: a 16-byte record so a draw touches a single
+/// cache line. The slot owns `thresh` units of mass (out of the slot capacity
+/// `weight_total`) for `primary`; the remaining `weight_total − thresh` units
+/// belong to `alias`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AliasSlot {
+    /// Integer mass threshold: a sub-slot draw `r < thresh` selects
+    /// `primary`, otherwise `alias`.
+    pub thresh: u64,
+    /// The node this slot primarily represents.
+    pub primary: NodeId,
+    /// The node receiving the slot's residual mass.
+    pub alias: NodeId,
+}
+
+/// Walker's alias method over integer node weights.
+///
+/// Construction follows Vose's two-worklist scheme, but on **integers**:
+/// with `K` participating nodes of weights `w_i` summing to `W`, every
+/// weight is scaled by `K` (so the total mass is exactly `K · W`) and split
+/// across `K` slots of capacity `W` each. All splits are exact — the mass
+/// assigned to node `i` across all slots is exactly `w_i · K`, which is what
+/// makes the implied distribution reconstruct `w_i / W` with no tolerance.
+///
+/// A draw picks a uniform `x ∈ [0, K·W)` when that product fits in `u64`
+/// (one RNG draw: slot `x / W`, sub-slot mass `x mod W`), falling back to
+/// two independent uniform draws otherwise. Either way each draw reads one
+/// slot — from the 8-byte compact mirror when the table is narrow enough to
+/// pack, else from the canonical 16-byte slots. The division by `W` uses a
+/// precomputed reciprocal; none of this changes which node a given RNG
+/// stream yields, only how fast the answer is computed.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    slots: Vec<AliasSlot>,
+    /// Sum of the participating weights (`W`; the slot capacity).
+    weight_total: u64,
+    /// `K · W` when it fits in `u64` (single-draw fast path), else `None`.
+    combined_span: Option<u64>,
+    /// 8-byte mirror of `slots` (`[thresh:24][primary:20][alias:20]`), built
+    /// when `W < 2^24` and every node id `< 2^20`: the draw loop reads this
+    /// array instead of the 16-byte slots, halving the cache footprint of
+    /// the only memory a draw touches. Purely a layout change — the slot
+    /// picked and the threshold compared are identical.
+    compact: Option<Vec<u64>>,
+    /// `ceil(2^64 / W)` for the reciprocal `x / W`, `x mod W` split of the
+    /// single-draw fast path (exact after one fixup step; see
+    /// [`div_rem_by_recip`]). `None` when `W == 1`, where `ceil(2^64 / W)`
+    /// overflows and plain division is free anyway.
+    recip: Option<u64>,
+}
+
+/// Exact `(x / d, x mod d)` using a precomputed `m = ceil(2^64 / d)`.
+///
+/// `m ≥ 2^64/d` gives a candidate quotient `q̂ = ⌊x·m / 2^64⌋ ≥ ⌊x/d⌋`, and
+/// `m < 2^64/d + 1` bounds the overshoot by `x/2^64 < 1`, so `q̂` is either
+/// exact or one too large; one widened comparison fixes it. Two widening
+/// multiplies instead of a 64-bit divide on the per-draw hot path.
+#[inline]
+fn div_rem_by_recip(x: u64, d: u64, m: u64) -> (u64, u64) {
+    let mut q = ((u128::from(x) * u128::from(m)) >> 64) as u64;
+    if u128::from(q) * u128::from(d) > u128::from(x) {
+        q -= 1;
+    }
+    // `q ≤ x / d` now, so `q · d` cannot overflow.
+    let r = x - q * d;
+    debug_assert_eq!((q, r), (x / d, x % d));
+    (q, r)
+}
+
+/// Packs a slot into the compact mirror layout, if it fits.
+#[inline]
+fn pack_slot(slot: &AliasSlot) -> Option<u64> {
+    if slot.thresh < (1 << 24)
+        && u64::from(slot.primary) < (1 << 20)
+        && u64::from(slot.alias) < (1 << 20)
+    {
+        Some((slot.thresh << 40) | (u64::from(slot.primary) << 20) | u64::from(slot.alias))
+    } else {
+        None
+    }
+}
+
+impl AliasTable {
+    /// Builds the table from `(node, weight)` pairs with positive weights.
+    ///
+    /// Returns `None` when `entries` is empty (the distribution would be
+    /// undefined); the caller maps that to its own error surface.
+    #[must_use]
+    pub fn from_weights(entries: &[(NodeId, u64)]) -> Option<Self> {
+        if entries.is_empty() {
+            return None;
+        }
+        let k = entries.len() as u128;
+        let weight_total: u128 = entries.iter().map(|&(_, w)| u128::from(w)).sum();
+        debug_assert!(entries.iter().all(|&(_, w)| w > 0));
+        if weight_total == 0 || weight_total > u128::from(u64::MAX) {
+            return None;
+        }
+        let capacity = weight_total; // each of the K slots holds W units
+                                     // Scaled masses: node i owns w_i · K units of the K·W total.
+        let mut scaled: Vec<u128> = entries.iter().map(|&(_, w)| u128::from(w) * k).collect();
+        // Deterministic worklists (index stacks, filled in entry order).
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < capacity {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut slots: Vec<Option<AliasSlot>> = vec![None; entries.len()];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Slot s: `scaled[s]` units of `s`, the rest donated by `l`.
+            slots[s] = Some(AliasSlot {
+                thresh: scaled[s] as u64,
+                primary: entries[s].0,
+                alias: entries[l].0,
+            });
+            scaled[l] -= capacity - scaled[s];
+            if scaled[l] < capacity {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (on either list) holds exactly one full slot of
+        // mass — integer arithmetic leaves no rounding residue.
+        for &i in small.iter().chain(large.iter()) {
+            debug_assert_eq!(scaled[i], capacity);
+            slots[i] = Some(AliasSlot {
+                thresh: capacity as u64,
+                primary: entries[i].0,
+                alias: entries[i].0,
+            });
+        }
+        let slots: Vec<AliasSlot> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot is assigned by the split loop"))
+            .collect();
+        let weight_total = capacity as u64;
+        let combined_span = u64::try_from(k * capacity).ok();
+        let compact: Option<Vec<u64>> = slots.iter().map(pack_slot).collect();
+        let recip = if weight_total > 1 {
+            Some((u128::from(u64::MAX) + 1).div_ceil(u128::from(weight_total)) as u64)
+        } else {
+            None
+        };
+        Some(Self {
+            slots,
+            weight_total,
+            combined_span,
+            compact,
+            recip,
+        })
+    }
+
+    /// The table's slots (one per participating node).
+    #[must_use]
+    pub fn slots(&self) -> &[AliasSlot] {
+        &self.slots
+    }
+
+    /// Sum of the participating weights `W` (each slot's integer capacity).
+    #[must_use]
+    pub fn weight_total(&self) -> u64 {
+        self.weight_total
+    }
+
+    /// The integer mass each node receives across all slots, in units where
+    /// the table total is exactly `K · W`: a correctly built table satisfies
+    /// `implied_masses()[node] == weight(node) · K` **exactly**.
+    #[must_use]
+    pub fn implied_masses(&self) -> std::collections::BTreeMap<NodeId, u128> {
+        let mut masses = std::collections::BTreeMap::new();
+        for slot in &self.slots {
+            *masses.entry(slot.primary).or_insert(0u128) += u128::from(slot.thresh);
+            *masses.entry(slot.alias).or_insert(0u128) +=
+                u128::from(self.weight_total - slot.thresh);
+        }
+        masses.retain(|_, &mut m| m > 0);
+        masses
+    }
+
+    /// Draws one node with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let (slot_index, r) = match self.combined_span {
+            // Fast path: one uniform draw over [0, K·W) yields both the slot
+            // and the sub-slot mass, exactly (rejection-sampled, no bias).
+            Some(span) => {
+                let x = rng.gen_range(0..span);
+                match self.recip {
+                    Some(m) => {
+                        let (q, r) = div_rem_by_recip(x, self.weight_total, m);
+                        (q as usize, r)
+                    }
+                    None => ((x / self.weight_total) as usize, x % self.weight_total),
+                }
+            }
+            // K·W overflows u64: two independent exact draws.
+            None => (
+                rng.gen_range(0..self.slots.len()),
+                rng.gen_range(0..self.weight_total),
+            ),
+        };
+        if let Some(compact) = &self.compact {
+            let packed = compact[slot_index];
+            return if r < packed >> 40 {
+                ((packed >> 20) & 0xF_FFFF) as NodeId
+            } else {
+                (packed & 0xF_FFFF) as NodeId
+            };
+        }
+        let slot = &self.slots[slot_index];
+        if r < slot.thresh {
+            slot.primary
+        } else {
+            slot.alias
+        }
+    }
+}
+
+/// Constant-time sampler for the degree-proportional distribution π, backed
+/// by a Walker [`AliasTable`] over the included degrees.
 ///
 /// ```
 /// use agmdp_models::PiSampler;
@@ -24,13 +256,13 @@ use crate::Result;
 /// use rand::SeedableRng;
 ///
 /// let pi = PiSampler::from_degrees(&[2, 0, 3]).unwrap();
-/// assert_eq!(pi.pool_size(), 5); // node 0 twice, node 2 three times
+/// assert_eq!(pi.pool_size(), 5); // Σ of included degrees, i.e. 2m
 /// let mut rng = StdRng::seed_from_u64(1);
 /// assert_ne!(pi.sample(&mut rng), 1); // degree-0 nodes are never drawn
 /// ```
 #[derive(Debug, Clone)]
 pub struct PiSampler {
-    pool: Vec<NodeId>,
+    table: AliasTable,
 }
 
 impl PiSampler {
@@ -46,31 +278,40 @@ impl PiSampler {
     /// `exclude_up_to` (e.g. `1` to exclude degree-one nodes, as the orphan
     /// extension requires).
     pub fn from_degrees_excluding(degrees: &[usize], exclude_up_to: usize) -> Result<Self> {
-        let total: usize = degrees.iter().filter(|&&d| d > exclude_up_to).sum();
-        if total == 0 {
-            return Err(ModelError::InvalidDegreeSequence(
-                "no node has a positive (non-excluded) desired degree".to_string(),
-            ));
-        }
-        let mut pool = Vec::with_capacity(total);
-        for (i, &d) in degrees.iter().enumerate() {
-            if d > exclude_up_to {
-                pool.extend(std::iter::repeat_n(i as NodeId, d));
-            }
-        }
-        Ok(Self { pool })
+        let entries: Vec<(NodeId, u64)> = degrees
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > exclude_up_to)
+            .map(|(i, &d)| (i as NodeId, d as u64))
+            .collect();
+        AliasTable::from_weights(&entries)
+            .map(|table| Self { table })
+            .ok_or_else(|| {
+                ModelError::InvalidDegreeSequence(
+                    "no node has a positive (non-excluded) desired degree".to_string(),
+                )
+            })
     }
 
-    /// Number of entries in the pool (the sum of the included degrees, i.e.
-    /// `2m` when nothing is excluded).
+    /// Total included probability mass — the sum of the included degrees,
+    /// i.e. `2m` when nothing is excluded. (The name survives from the
+    /// repeated-id pool implementation, whose pool had exactly this many
+    /// entries; callers still use it as the `2m` normaliser.)
     #[must_use]
     pub fn pool_size(&self) -> usize {
-        self.pool.len()
+        self.table.weight_total() as usize
+    }
+
+    /// The underlying alias table (exposed for the statistical test suite).
+    #[must_use]
+    pub fn alias_table(&self) -> &AliasTable {
+        &self.table
     }
 
     /// Draws one node id with probability proportional to its desired degree.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
-        self.pool[rng.gen_range(0..self.pool.len())]
+        self.table.sample(rng)
     }
 }
 
@@ -81,9 +322,11 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn pool_reflects_degrees() {
+    fn pool_size_reflects_included_degrees() {
         let s = PiSampler::from_degrees(&[2, 0, 3]).unwrap();
         assert_eq!(s.pool_size(), 5);
+        let excl = PiSampler::from_degrees_excluding(&[1, 1, 4, 5], 1).unwrap();
+        assert_eq!(excl.pool_size(), 9);
     }
 
     #[test]
@@ -124,5 +367,123 @@ mod tests {
             let v = s.sample(&mut rng);
             assert!(v == 2 || v == 3, "degree-one nodes must never be sampled");
         }
+    }
+
+    #[test]
+    fn alias_table_masses_are_integer_exact() {
+        // Awkward mix: one huge weight, many tiny ones. Every node's implied
+        // mass must equal weight · K with no rounding residue.
+        let entries: Vec<(NodeId, u64)> = (0..17u32)
+            .map(|i| (i, if i == 0 { 10_000 } else { 1 + u64::from(i) % 3 }))
+            .collect();
+        let table = AliasTable::from_weights(&entries).unwrap();
+        let k = entries.len() as u128;
+        let masses = table.implied_masses();
+        for &(node, w) in &entries {
+            assert_eq!(masses.get(&node), Some(&(u128::from(w) * k)), "node {node}");
+        }
+        assert_eq!(masses.len(), entries.len());
+    }
+
+    #[test]
+    fn alias_table_single_and_equal_entries() {
+        // Single included node: one full slot, draws always return it.
+        let single = AliasTable::from_weights(&[(3, 7)]).unwrap();
+        assert_eq!(single.slots().len(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(single.sample(&mut rng), 3);
+        }
+        // All-equal weights: every slot is full (thresh == W, self-alias).
+        let equal = AliasTable::from_weights(&[(0, 4), (1, 4), (2, 4)]).unwrap();
+        assert!(equal.slots().iter().all(|s| s.thresh == 12));
+        // Empty input is None, surfaced as a ModelError by PiSampler.
+        assert!(AliasTable::from_weights(&[]).is_none());
+    }
+
+    #[test]
+    fn reciprocal_division_is_exact() {
+        // Deterministic xorshift sweep over awkward (x, d) pairs, checked
+        // against the hardware divide — including d near 1, near 2^24, near
+        // 2^63, and x near u64::MAX where a naive borrow check goes wrong.
+        let mut state = 0x2016_5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let check = |x: u64, d: u64| {
+            let m = (u128::from(u64::MAX) + 1).div_ceil(u128::from(d)) as u64;
+            assert_eq!(
+                div_rem_by_recip(x, d, m),
+                (x / d, x % d),
+                "x = {x}, d = {d}"
+            );
+        };
+        for &d in &[
+            2u64,
+            3,
+            7,
+            (1 << 24) - 1,
+            1 << 24,
+            (1 << 63) - 1,
+            1 << 63,
+            u64::MAX,
+        ] {
+            for &x in &[
+                0u64,
+                1,
+                d - 1,
+                d,
+                d.saturating_add(1),
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                check(x, d);
+            }
+        }
+        for _ in 0..100_000 {
+            let d = (next() | 2).max(2);
+            check(next(), d);
+            check(next(), (next() % ((1 << 24) - 2)) + 2);
+        }
+    }
+
+    #[test]
+    fn compact_mirror_matches_wide_slots() {
+        // A table narrow enough to pack: draws through the compact mirror
+        // must equal a slot-by-slot walk of the canonical 16-byte slots.
+        let entries: Vec<(NodeId, u64)> = (0..257u32).map(|i| (i, u64::from(i % 9 + 1))).collect();
+        let table = AliasTable::from_weights(&entries).unwrap();
+        let wide = |slot_index: usize, r: u64| {
+            let s = &table.slots()[slot_index];
+            if r < s.thresh {
+                s.primary
+            } else {
+                s.alias
+            }
+        };
+        let w = table.weight_total();
+        for slot_index in 0..table.slots().len() {
+            for r in [0, 1, w / 2, w - 1] {
+                let s = &table.slots()[slot_index];
+                let packed = pack_slot(s).expect("narrow table packs");
+                let via_compact = if r < packed >> 40 {
+                    ((packed >> 20) & 0xF_FFFF) as NodeId
+                } else {
+                    (packed & 0xF_FFFF) as NodeId
+                };
+                assert_eq!(via_compact, wide(slot_index, r));
+            }
+        }
+        // A table too wide to pack (node id ≥ 2^20) falls back cleanly.
+        let big = AliasTable::from_weights(&[(1 << 20, 3), (7, 5)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_big = false;
+        for _ in 0..200 {
+            seen_big |= big.sample(&mut rng) == 1 << 20;
+        }
+        assert!(seen_big, "wide fallback still samples the large node id");
     }
 }

@@ -45,6 +45,10 @@ pub struct TriCycLeModel {
     target_triangles: u64,
     orphan_extension: bool,
     max_iteration_factor: usize,
+    /// The π alias table, built once per (degrees, orphan flag) and shared
+    /// by every generate call — the AGM workflow samples from the same model
+    /// four times per synthesis.
+    pi: PiSampler,
 }
 
 impl TriCycLeModel {
@@ -56,17 +60,35 @@ impl TriCycLeModel {
                 "degree sequence must contain a positive degree".to_string(),
             ));
         }
+        let pi = Self::build_pi(&degrees, true)?;
         Ok(Self {
             degrees,
             target_triangles,
             orphan_extension: true,
             max_iteration_factor: 30,
+            pi,
         })
+    }
+
+    /// π excludes degree-one nodes under the orphan extension (they are
+    /// wired afterwards by Algorithm 2); falls back to the full distribution
+    /// if that would leave the pool empty.
+    fn build_pi(degrees: &[usize], orphan_extension: bool) -> Result<PiSampler> {
+        if orphan_extension {
+            PiSampler::from_degrees_excluding(degrees, 1)
+                .or_else(|_| PiSampler::from_degrees(degrees))
+        } else {
+            PiSampler::from_degrees(degrees)
+        }
     }
 
     /// Enables or disables the orphan-node extension (enabled by default).
     #[must_use]
     pub fn with_orphan_extension(mut self, enabled: bool) -> Self {
+        if self.orphan_extension != enabled {
+            self.pi = Self::build_pi(&self.degrees, enabled)
+                .expect("a constructed model has a valid degree sequence");
+        }
         self.orphan_extension = enabled;
         self
     }
@@ -120,14 +142,7 @@ impl TriCycLeModel {
         let schema = acceptance.map_or(AttributeSchema::new(0), |c| c.schema);
         let m_total = self.target_edges();
 
-        // π excludes degree-one nodes under the orphan extension; fall back to
-        // the full distribution if that would leave the pool empty.
-        let pi = if self.orphan_extension {
-            PiSampler::from_degrees_excluding(&self.degrees, 1)
-                .or_else(|_| PiSampler::from_degrees(&self.degrees))?
-        } else {
-            PiSampler::from_degrees(&self.degrees)?
-        };
+        let pi = &self.pi;
 
         let degree_one = self.degrees.iter().filter(|&&d| d == 1).count();
         let seed_edges = if self.orphan_extension {
@@ -140,9 +155,9 @@ impl TriCycLeModel {
         observer.stage_start(SynthesisStage::EdgeSample);
         let (mut graph, order) = match policy {
             Some(policy) => {
-                sample_cl_edges_chunked(n, &pi, seed_edges, schema, acceptance, policy, rng)
+                sample_cl_edges_chunked(n, pi, seed_edges, schema, acceptance, policy, rng)
             }
-            None => sample_cl_edges(n, &pi, seed_edges, schema, acceptance, rng),
+            None => sample_cl_edges(n, pi, seed_edges, schema, acceptance, rng),
         };
         if let Some(ctx) = acceptance {
             if let Err(e) = ctx.apply_attributes(&mut graph) {
@@ -151,7 +166,7 @@ impl TriCycLeModel {
             }
         }
         if self.orphan_extension {
-            wire_orphans(&mut graph, &self.degrees, &pi, rng);
+            wire_orphans(&mut graph, &self.degrees, pi, rng);
         }
         observer.stage_end(SynthesisStage::EdgeSample);
         let mut ages: VecDeque<Edge> = order.into();
@@ -203,7 +218,7 @@ impl TriCycLeModel {
         }
 
         if self.orphan_extension {
-            wire_orphans(&mut graph, &self.degrees, &pi, rng);
+            wire_orphans(&mut graph, &self.degrees, pi, rng);
         }
         let result = match acceptance {
             Some(ctx) => ctx.apply_attributes(&mut graph).map(|()| graph),

@@ -1,0 +1,207 @@
+//! Statistical pinning of the Walker alias-table π sampler.
+//!
+//! Two layers of evidence that [`agmdp_models::PiSampler`] really samples
+//! `π(i) = d_i / 2m`:
+//!
+//! 1. **Exact reconstruction** — the alias table's integer slot masses must
+//!    rebuild every node's weight with *no tolerance*: construction is pure
+//!    integer arithmetic (weights scaled by the slot count), so any rounding
+//!    residue is a bug, not noise.
+//! 2. **Chi-square goodness of fit** — one million seeded draws against the
+//!    exact expected counts, for both `from_degrees` and
+//!    `from_degrees_excluding(1)`. The draws are a pure function of the
+//!    fixed seed, so the statistic is one deterministic number; the
+//!    thresholds sit far above the χ² 99.99th percentile for the relevant
+//!    degrees of freedom, giving headroom without admitting a broken
+//!    sampler (a wrong distribution inflates the statistic by orders of
+//!    magnitude at n = 1M draws).
+//!
+//! The degenerate-input error surface (empty, all-zero, all-excluded) and
+//! `pool_size()` semantics are pinned here too — they are the contract the
+//! repeated-id pool sampler established and every caller still relies on.
+
+use agmdp_models::{AliasTable, ModelError, PiSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deliberately awkward degree sequence: one huge hub, a mid-range band,
+/// and a long tail of degree-1 and degree-2 nodes.
+fn awkward_degrees() -> Vec<usize> {
+    let mut d = vec![1_000usize]; // the hub
+    d.extend((0..15).map(|i| 20 + 7 * i)); // mid band
+    d.extend([1usize, 2].iter().cycle().take(48)); // tail
+    d
+}
+
+/// Per-node draw counts over `trials` samples.
+fn draw_counts(pi: &PiSampler, n: usize, trials: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; n];
+    for _ in 0..trials {
+        counts[pi.sample(&mut rng) as usize] += 1;
+    }
+    counts
+}
+
+/// χ² statistic of observed counts against exact integer weights.
+fn chi_square(counts: &[u64], weights: &[u64], trials: usize) -> (f64, usize) {
+    let total: u64 = weights.iter().sum();
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for (&obs, &w) in counts.iter().zip(weights) {
+        if w == 0 {
+            assert_eq!(obs, 0, "a zero-weight node was drawn");
+            continue;
+        }
+        let expected = trials as f64 * w as f64 / total as f64;
+        let diff = obs as f64 - expected;
+        stat += diff * diff / expected;
+        df += 1;
+    }
+    (stat, df.saturating_sub(1))
+}
+
+#[test]
+fn alias_masses_reconstruct_degrees_exactly() {
+    // Integer-exact: implied mass of node i == d_i · K, where K is the
+    // number of included nodes. No floating point, no tolerance.
+    for (degrees, exclude) in [
+        (awkward_degrees(), 0usize),
+        (awkward_degrees(), 1),
+        (vec![3usize; 11], 0),           // all equal
+        (vec![7, 0, 0, 0], 0),           // single included node
+        (vec![usize::MAX >> 20, 1], 0),  // extreme spread
+        ((1..=257usize).collect(), 0),   // consecutive weights
+        ((1..=257usize).collect(), 100), // heavy exclusion
+    ] {
+        let pi = PiSampler::from_degrees_excluding(&degrees, exclude).expect("valid sequence");
+        let table = pi.alias_table();
+        let included: Vec<(u32, u64)> = degrees
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > exclude)
+            .map(|(i, &d)| (i as u32, d as u64))
+            .collect();
+        let k = included.len() as u128;
+        assert_eq!(table.slots().len(), included.len());
+        let masses = table.implied_masses();
+        assert_eq!(masses.len(), included.len());
+        for &(node, w) in &included {
+            assert_eq!(
+                masses.get(&node),
+                Some(&(u128::from(w) * k)),
+                "node {node} (weight {w}, K = {k}) lost or gained mass"
+            );
+        }
+        // pool_size() is still Σ of included degrees (2m when nothing is
+        // excluded) — the normaliser callers divide by.
+        let expected_pool: usize = included.iter().map(|&(_, w)| w as usize).sum();
+        assert_eq!(pi.pool_size(), expected_pool);
+    }
+}
+
+#[test]
+fn chi_square_1m_draws_from_degrees() {
+    let degrees = awkward_degrees();
+    let pi = PiSampler::from_degrees(&degrees).expect("valid sequence");
+    let trials = 1_000_000;
+    let counts = draw_counts(&pi, degrees.len(), trials, 0x000A_11A5_2016);
+    let weights: Vec<u64> = degrees.iter().map(|&d| d as u64).collect();
+    let (stat, df) = chi_square(&counts, &weights, trials);
+    // df = 63; χ²(0.9999, 63) ≈ 117. The threshold below is ~1.5× that —
+    // headroom against nothing (the statistic is deterministic), but far
+    // below the thousands a mis-built table produces at 1M draws.
+    assert_eq!(df, 63);
+    assert!(
+        stat < 175.0,
+        "chi-square statistic {stat:.2} (df = {df}) rejects π = d_i/2m"
+    );
+}
+
+#[test]
+fn chi_square_1m_draws_from_degrees_excluding_one() {
+    let degrees = awkward_degrees();
+    let pi = PiSampler::from_degrees_excluding(&degrees, 1).expect("valid sequence");
+    let trials = 1_000_000;
+    let counts = draw_counts(&pi, degrees.len(), trials, 0xE8C1_2016);
+    // Excluded nodes must have weight 0 in the reference distribution; the
+    // χ² helper asserts they were never drawn.
+    let weights: Vec<u64> = degrees
+        .iter()
+        .map(|&d| if d > 1 { d as u64 } else { 0 })
+        .collect();
+    let (stat, df) = chi_square(&counts, &weights, trials);
+    // 40 included nodes -> df = 39; χ²(0.9999, 39) ≈ 85.
+    assert_eq!(df, 39);
+    assert!(
+        stat < 130.0,
+        "chi-square statistic {stat:.2} (df = {df}) rejects the excluded π"
+    );
+}
+
+#[test]
+fn degenerate_inputs_keep_the_pool_error_surface() {
+    // The alias construction must surface exactly the errors the repeated-id
+    // pool sampler surfaced: an undefined distribution is
+    // ModelError::InvalidDegreeSequence, everything else constructs.
+    for (degrees, exclude) in [
+        (vec![], 0usize),
+        (vec![0, 0, 0], 0),
+        (vec![1, 1, 1], 1), // everything excluded
+        (vec![5, 5, 5], 5),
+    ] {
+        match PiSampler::from_degrees_excluding(&degrees, exclude) {
+            Err(ModelError::InvalidDegreeSequence(_)) => {}
+            other => panic!("expected InvalidDegreeSequence for {degrees:?}, got {other:?}"),
+        }
+    }
+    // Single included node: every draw returns it.
+    let single = PiSampler::from_degrees_excluding(&[1, 1, 9, 1], 1).expect("one node included");
+    assert_eq!(single.pool_size(), 9);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..200 {
+        assert_eq!(single.sample(&mut rng), 2);
+    }
+    // All-equal degrees: uniform over nodes, every slot self-aliased.
+    let equal = PiSampler::from_degrees(&[4; 32]).expect("valid");
+    assert_eq!(equal.pool_size(), 128);
+    let counts = draw_counts(&equal, 32, 64_000, 7);
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - 2_000.0).abs() < 300.0,
+            "node {i} drawn {c} times, expected ~2000"
+        );
+    }
+    // One huge + many tiny degrees: the hub must dominate in proportion.
+    let mut skew = vec![1usize; 99];
+    skew.push(9_901); // hub holds 99.01% of the mass... (9901 / 10000)
+    let hub = PiSampler::from_degrees(&skew).expect("valid");
+    let counts = draw_counts(&hub, 100, 100_000, 8);
+    let hub_share = counts[99] as f64 / 100_000.0;
+    assert!(
+        (hub_share - 0.9901).abs() < 0.005,
+        "hub share {hub_share} far from 0.9901"
+    );
+}
+
+#[test]
+fn oversized_tables_fall_back_to_two_draw_sampling() {
+    // K·W overflows u64 here, forcing the two-draw slow path; the draws must
+    // still be well distributed (equal weights -> roughly uniform).
+    let big = u64::MAX / 4;
+    let entries: Vec<(u32, u64)> = (0..3).map(|i| (i, big)).collect();
+    let table = AliasTable::from_weights(&entries).expect("fits in u64 total");
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut counts = [0u64; 3];
+    for _ in 0..30_000 {
+        counts[table.sample(&mut rng) as usize] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - 10_000.0).abs() < 700.0,
+            "entry {i} drawn {c} times, expected ~10000"
+        );
+    }
+    // A total weight beyond u64 is rejected at construction.
+    assert!(AliasTable::from_weights(&[(0, u64::MAX), (1, u64::MAX)]).is_none());
+}
