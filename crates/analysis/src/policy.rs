@@ -25,12 +25,18 @@ pub struct Scope {
 const DETERMINISTIC_CRATES: &[&str] = &["core", "datasets", "eval", "graph", "models"];
 
 /// The service request path: files where a panic kills a worker thread
-/// serving a request instead of a CLI run.
+/// serving a request instead of a CLI run. The reactor path is stricter
+/// still: a panic there takes down *every* connection at once, not just the
+/// one being served.
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/server.rs",
     "crates/service/src/http.rs",
     "crates/service/src/json.rs",
     "crates/service/src/engine.rs",
+    "crates/service/src/reactor.rs",
+    "crates/service/src/conn.rs",
+    "crates/service/src/sys.rs",
+    "crates/service/src/ratelimit.rs",
 ];
 
 /// The metrics/tracing exposition path: every request ticks counters and
@@ -133,6 +139,16 @@ mod tests {
     #[test]
     fn panic_freedom_covers_exactly_the_request_and_exposition_paths() {
         for path in REQUEST_PATH_FILES.iter().chain(EXPOSITION_PATH_FILES) {
+            assert!(scope_for(path).unwrap().panic_freedom, "{path}");
+        }
+        // The event-driven front end is inside the policy: a panic in the
+        // reactor drops every open connection.
+        for path in [
+            "crates/service/src/reactor.rs",
+            "crates/service/src/conn.rs",
+            "crates/service/src/sys.rs",
+            "crates/service/src/ratelimit.rs",
+        ] {
             assert!(scope_for(path).unwrap().panic_freedom, "{path}");
         }
         assert!(

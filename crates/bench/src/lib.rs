@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;

@@ -20,10 +20,16 @@
 //!   post-processing) and aggregated per dataset, so `GET /evaluate` reports
 //!   the utility of what the server released alongside the ledger's record
 //!   of what it cost.
-//! * **HTTP server** ([`server`]) — hand-rolled HTTP/1.1 framing on
-//!   `std::net::TcpListener` with a fixed worker thread pool (the container
-//!   has no crates.io access, so there is no tokio; [`http`] and [`json`] are
-//!   the minimal framing/parsing the endpoints need).
+//! * **HTTP server** ([`server`]) — an event-driven front end: one reactor
+//!   thread running a nonblocking readiness loop ([`reactor`], over the raw
+//!   epoll/poll shim in [`sys`]) with per-connection HTTP/1.1 keep-alive
+//!   state machines ([`conn`]), a bounded job queue into a fixed worker
+//!   pool, explicit load shedding (`429`/`503` + `Retry-After`,
+//!   [`ratelimit`]), and per-connection read/write/idle deadlines. The
+//!   original thread-per-request blocking transport is retained as a
+//!   selectable baseline. The container has no crates.io access, so there
+//!   is no tokio; [`http`] and [`json`] are the minimal framing/parsing the
+//!   endpoints need.
 //! * **Observability** ([`telemetry`]) — every request, cache outcome, and
 //!   synthesis stage is recorded into an `agmdp_obs` metrics registry served
 //!   at `GET /metrics`, with optional JSON access/span logging to stderr.
@@ -54,10 +60,14 @@
 //!
 //! To serve over HTTP, see [`server::start`] or the `agmdp serve` subcommand.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`sys`] module is the one sanctioned
+// exception (raw epoll/poll syscall bindings — the container has no libc
+// crate), and `forbid` would reject even its scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
 pub mod engine;
 pub mod error;
 pub mod evalstore;
@@ -65,12 +75,16 @@ pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod ledger;
+pub mod ratelimit;
+pub mod reactor;
 pub mod registry;
 pub mod server;
+#[allow(unsafe_code)]
+pub mod sys;
 pub mod telemetry;
 
 pub use engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
 pub use error::ServiceError;
 pub use ledger::{BudgetLedger, BudgetStatus};
-pub use server::{start, ServerHandle, ServiceConfig};
+pub use server::{start, ServerHandle, ServiceConfig, Transport};
 pub use telemetry::{StageTimer, Telemetry};

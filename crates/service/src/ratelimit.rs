@@ -1,0 +1,130 @@
+//! Per-tenant token-bucket rate limiting for `/synthesize`.
+//!
+//! Tenancy in the service maps to datasets: each dataset has its own ε
+//! ledger, so it also gets its own request-rate bucket. The bucket layer
+//! sheds *before* the ledger is consulted — a tenant hammering the endpoint
+//! burns HTTP 429s, not ε-accounting lock time.
+//!
+//! Buckets refill continuously at `rate` tokens/second up to `burst`.
+//! Time is passed in explicitly (`Instant`), which keeps the arithmetic
+//! deterministic under test.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A set of per-key token buckets with a shared rate/burst configuration.
+pub struct TokenBuckets {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// `rate` tokens per second, bursting to `burst` (clamped to ≥ 1.0 so a
+    /// fresh bucket always admits at least one request).
+    #[must_use]
+    pub fn new(rate: f64, burst: f64) -> Self {
+        Self {
+            rate: rate.max(0.0),
+            burst: burst.max(1.0),
+            buckets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Tries to take one token from `key`'s bucket at time `now`.
+    ///
+    /// `Err(retry_after_secs)` carries the ceiling of the wait until one
+    /// token will be available — exactly what the `Retry-After` header
+    /// wants. A rate of 0 always refuses (with a 1-second hint).
+    pub fn try_take(&self, key: &str, now: Instant) -> Result<(), u32> {
+        let Ok(mut buckets) = self.buckets.lock() else {
+            // A poisoned bucket table must never take the service down:
+            // fail open (admit) rather than closed.
+            return Ok(());
+        };
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last_refill: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last_refill);
+        bucket.tokens = (bucket.tokens + elapsed.as_secs_f64() * self.rate).min(self.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        if self.rate <= 0.0 {
+            return Err(1);
+        }
+        let wait = (1.0 - bucket.tokens) / self.rate;
+        Err(wait.ceil().max(1.0).min(f64::from(u32::MAX)) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_bucket_admits_burst_then_refuses() {
+        let rl = TokenBuckets::new(1.0, 3.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(rl.try_take("lastfm", t0).is_ok());
+        }
+        let retry = rl.try_take("lastfm", t0).unwrap_err();
+        assert_eq!(retry, 1, "empty bucket at 1 rps refills in 1s");
+    }
+
+    #[test]
+    fn tokens_refill_with_time() {
+        let rl = TokenBuckets::new(2.0, 2.0);
+        let t0 = Instant::now();
+        assert!(rl.try_take("x", t0).is_ok());
+        assert!(rl.try_take("x", t0).is_ok());
+        assert!(rl.try_take("x", t0).is_err());
+        // 0.5s at 2 tokens/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(rl.try_take("x", t1).is_ok());
+        assert!(rl.try_take("x", t1).is_err());
+    }
+
+    #[test]
+    fn buckets_are_independent_per_key() {
+        let rl = TokenBuckets::new(1.0, 1.0);
+        let t0 = Instant::now();
+        assert!(rl.try_take("a", t0).is_ok());
+        assert!(rl.try_take("a", t0).is_err());
+        assert!(rl.try_take("b", t0).is_ok(), "tenant b has its own bucket");
+    }
+
+    #[test]
+    fn retry_after_reflects_the_refill_rate() {
+        let rl = TokenBuckets::new(0.1, 1.0);
+        let t0 = Instant::now();
+        assert!(rl.try_take("slow", t0).is_ok());
+        let retry = rl.try_take("slow", t0).unwrap_err();
+        assert_eq!(retry, 10, "one token at 0.1 rps takes 10s");
+    }
+
+    #[test]
+    fn zero_rate_always_refuses() {
+        let rl = TokenBuckets::new(0.0, 1.0);
+        let t0 = Instant::now();
+        assert!(rl.try_take("z", t0).is_ok(), "burst clamp admits one");
+        assert_eq!(rl.try_take("z", t0).unwrap_err(), 1);
+        assert_eq!(
+            rl.try_take("z", t0 + Duration::from_secs(3600))
+                .unwrap_err(),
+            1,
+            "no refill ever at rate 0"
+        );
+    }
+}

@@ -1,6 +1,17 @@
-//! The HTTP server: a `std::net::TcpListener` acceptor feeding a fixed pool
-//! of worker threads (no async runtime — the container has no crates.io
-//! access, so the framing in [`crate::http`] is hand-rolled).
+//! The HTTP server front end.
+//!
+//! Two transports share the same routing/handler layer:
+//!
+//! * [`Transport::Event`] (the default) — one reactor thread running a
+//!   nonblocking readiness loop ([`crate::reactor`]) with per-connection
+//!   HTTP/1.1 keep-alive state machines ([`crate::conn`]), a bounded job
+//!   queue into a fixed worker pool, explicit load shedding
+//!   (`429`/`503` + `Retry-After`), and per-connection read/write/idle
+//!   deadlines.
+//! * [`Transport::Blocking`] — the original thread-per-request loop
+//!   (acceptor + worker pool, one request per connection). Kept as the
+//!   measured baseline for the event transport's throughput claims and as
+//!   the fallback for non-unix targets.
 //!
 //! Endpoints:
 //!
@@ -15,6 +26,7 @@
 //! | `GET /evaluate`      | aggregated utility of served releases, per dataset |
 //! | `GET /metrics`       | Prometheus text exposition of every metric family |
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,24 +41,32 @@ use agmdp_core::workflow::StructuralModelKind;
 use agmdp_graph::{io, GraphError};
 use agmdp_obs::TraceSink;
 
+use crate::conn::ConnTimeouts;
 use crate::engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
 use crate::error::ServiceError;
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{read_request, write_response, HttpError, HttpLimits, Request, Response};
 use crate::jobs::{JobState, JobStore};
 use crate::json;
 use crate::ledger::BudgetLedger;
-use crate::telemetry::Telemetry;
-
-/// How long a worker waits for a slow client before dropping the connection.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+use crate::ratelimit::TokenBuckets;
+use crate::reactor::{Completions, HttpJob, Reactor, ReactorConfig, Waker};
+use crate::telemetry::{FrontendStats, Telemetry};
 
 /// Concurrent synthesis jobs allowed per HTTP worker thread. Admission is
 /// cheap, but each job runs a full fit + sample; without a cap a client
 /// replaying one cached (ε-free) request could spawn unbounded work.
 const JOBS_PER_WORKER: usize = 4;
 
-/// Server configuration (mirrors `agmdp serve --addr --threads --ledger-path
-/// --quiet`).
+/// Which front-end transport serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Nonblocking readiness loop with keep-alive (the default).
+    Event,
+    /// Thread-per-request, one request per connection (baseline/fallback).
+    Blocking,
+}
+
+/// Server configuration (mirrors the `agmdp serve` flags).
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral port).
@@ -59,6 +79,38 @@ pub struct ServiceConfig {
     /// Suppresses the per-request access log and span lines on stderr.
     /// Metrics at `GET /metrics` are collected either way.
     pub quiet: bool,
+    /// Front-end transport. Non-unix targets fall back to
+    /// [`Transport::Blocking`] regardless.
+    pub transport: Transport,
+    /// Open-connection cap (event transport); excess accepts get a canned
+    /// `503` and are closed (`--max-conns`).
+    pub max_conns: usize,
+    /// Bound on the reactor→worker job queue; overflow requests get
+    /// `503` + `Retry-After` (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Per-dataset `/synthesize` admission rate in requests/second;
+    /// `None` disables the token-bucket layer (`--rate-limit`).
+    pub rate_limit: Option<f64>,
+    /// Request-head size cap; larger heads get `431`.
+    pub max_head_bytes: usize,
+    /// Request-body size cap, enforced from the declared `Content-Length`
+    /// before any allocation; larger bodies get `413` (`--max-body-bytes`).
+    pub max_body_bytes: usize,
+    /// Absolute deadline for receiving one complete request (slowloris
+    /// defense; `408` then close).
+    pub read_timeout: Duration,
+    /// Absolute deadline for draining a response to a slow reader.
+    pub write_timeout: Duration,
+    /// How long an idle keep-alive connection is retained.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before keep-alive is withdrawn.
+    pub keepalive_max_requests: u64,
+    /// Kernel send-buffer override for accepted sockets; used by the
+    /// fault-injection tests to make write-stalls deterministic.
+    pub send_buffer_bytes: Option<usize>,
+    /// Enables `GET /__debug/sleep/:ms` and `GET /__debug/payload/:bytes`
+    /// (fault-injection only; never enable in production).
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +120,35 @@ impl Default for ServiceConfig {
             threads: 4,
             ledger_path: None,
             quiet: false,
+            transport: Transport::Event,
+            max_conns: 1024,
+            queue_depth: 256,
+            rate_limit: None,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            keepalive_max_requests: 10_000,
+            send_buffer_bytes: None,
+            debug_endpoints: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn limits(&self) -> HttpLimits {
+        HttpLimits {
+            max_head_bytes: self.max_head_bytes,
+            max_body_bytes: self.max_body_bytes,
+        }
+    }
+
+    fn conn_timeouts(&self) -> ConnTimeouts {
+        ConnTimeouts {
+            read: self.read_timeout,
+            write: self.write_timeout,
+            idle: self.idle_timeout,
         }
     }
 }
@@ -77,8 +158,8 @@ impl Default for ServiceConfig {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    waker: Option<Waker>,
     engine: Arc<SynthesisEngine>,
 }
 
@@ -103,20 +184,17 @@ impl ServerHandle {
         &self.engine
     }
 
-    /// Signals shutdown and joins the acceptor and workers. In-flight
-    /// requests finish; queued jobs already spawned keep running detached.
+    /// Signals shutdown and joins every server thread. In-flight requests
+    /// finish; queued jobs already spawned keep running detached.
     pub fn stop(mut self) {
         self.stop_inner();
     }
 
-    /// Blocks until the acceptor exits (i.e. forever, absent a signal) — the
-    /// foreground `agmdp serve` path.
+    /// Blocks until every server thread exits (i.e. forever, absent a
+    /// signal) — the foreground `agmdp serve` path.
     pub fn wait(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
     }
 
@@ -124,13 +202,14 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the acceptor's blocking accept() with a throwaway connect.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        // Event transport: nudge the reactor out of its poll. Blocking
+        // transport: unblock the acceptor with a throwaway connect.
+        if let Some(waker) = &self.waker {
+            waker.wake();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        let _ = TcpStream::connect(self.local_addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
     }
 }
@@ -142,7 +221,7 @@ impl Drop for ServerHandle {
 }
 
 /// Binds the listener, builds the engine (opening the ledger journal when a
-/// path is configured) and starts the acceptor + worker threads.
+/// path is configured) and starts the transport threads.
 pub fn start(config: &ServiceConfig) -> Result<ServerHandle, ServiceError> {
     let ledger = match &config.ledger_path {
         Some(path) => BudgetLedger::open(path)?,
@@ -167,6 +246,11 @@ pub fn start_with_engine(
             "threads must be in 1..=1024".to_string(),
         ));
     }
+    if config.max_conns == 0 || config.queue_depth == 0 {
+        return Err(ServiceError::InvalidRequest(
+            "max_conns and queue_depth must be at least 1".to_string(),
+        ));
+    }
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServiceError::InvalidRequest(format!("bind {}: {e}", config.addr)))?;
     let local_addr = listener
@@ -179,20 +263,130 @@ pub fn start_with_engine(
         jobs: JobStore::new(),
         active_jobs: AtomicUsize::new(0),
         max_jobs: config.threads.saturating_mul(JOBS_PER_WORKER),
+        rate_limits: config
+            .rate_limit
+            .map(|rate| TokenBuckets::new(rate, rate.max(1.0))),
+        debug_endpoints: config.debug_endpoints,
+        frontend: Arc::new(FrontendStats::default()),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    let event_capable = cfg!(unix);
+    if config.transport == Transport::Event && event_capable {
+        start_event(config, listener, local_addr, state, shutdown, engine)
+    } else {
+        start_blocking(config, listener, local_addr, state, shutdown, engine)
+    }
+}
+
+/// The event transport: reactor thread + worker pool over a bounded queue.
+fn start_event(
+    config: &ServiceConfig,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    engine: Arc<SynthesisEngine>,
+) -> Result<ServerHandle, ServiceError> {
+    let (job_tx, job_rx) = mpsc::sync_channel::<HttpJob>(config.queue_depth);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completions: Completions = Arc::new(Mutex::new(VecDeque::new()));
+    let reactor_config = ReactorConfig {
+        max_conns: config.max_conns,
+        keepalive_max_requests: config.keepalive_max_requests.max(1),
+        timeouts: config.conn_timeouts(),
+        limits: config.limits(),
+        send_buffer_bytes: config.send_buffer_bytes,
+    };
+    let (reactor, waker) = Reactor::new(
+        listener,
+        reactor_config,
+        job_tx,
+        Arc::clone(&completions),
+        Arc::clone(&shutdown),
+        Arc::clone(engine.telemetry()),
+        Arc::clone(&state.frontend),
+    )
+    .map_err(|e| ServiceError::InvalidRequest(format!("reactor init: {e}")))?;
+
+    let mut threads = Vec::with_capacity(config.threads + 1);
+    threads.push(
+        std::thread::Builder::new()
+            .name("agmdp-reactor".to_string())
+            .spawn(move || reactor.run())
+            .map_err(|e| ServiceError::InvalidRequest(format!("spawn reactor: {e}")))?,
+    );
+    for i in 0..config.threads {
+        let job_rx = Arc::clone(&job_rx);
+        let completions = Arc::clone(&completions);
+        let state = Arc::clone(&state);
+        let waker = waker.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("agmdp-http-{i}"))
+                .spawn(move || event_worker_loop(&job_rx, &completions, &waker, &state))
+                .map_err(|e| ServiceError::InvalidRequest(format!("spawn worker: {e}")))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        threads,
+        waker: Some(waker),
+        engine,
+    })
+}
+
+fn event_worker_loop(
+    job_rx: &Arc<Mutex<mpsc::Receiver<HttpJob>>>,
+    completions: &Completions,
+    waker: &Waker,
+    state: &Arc<ServerState>,
+) {
+    loop {
+        let job = {
+            // A panic elsewhere must not wedge the whole worker pool: take
+            // the queue even if a previous holder poisoned the lock.
+            let guard = job_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: reactor exited
+        };
+        let response = handle_request(state, &job.request);
+        if let Ok(mut queue) = completions.lock() {
+            queue.push_back((job.token, response));
+        }
+        waker.wake();
+    }
+}
+
+/// The blocking transport: acceptor thread feeding a worker pool, one
+/// request per connection.
+fn start_blocking(
+    config: &ServiceConfig,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    engine: Arc<SynthesisEngine>,
+) -> Result<ServerHandle, ServiceError> {
     let (sender, receiver) = mpsc::channel::<TcpStream>();
     let receiver = Arc::new(Mutex::new(receiver));
+    let limits = config.limits();
+    let io_timeout = config.read_timeout.max(config.write_timeout);
 
-    let mut workers = Vec::with_capacity(config.threads);
+    let mut threads = Vec::with_capacity(config.threads + 1);
     for i in 0..config.threads {
         let receiver = Arc::clone(&receiver);
         let state = Arc::clone(&state);
-        workers.push(
+        threads.push(
             std::thread::Builder::new()
                 .name(format!("agmdp-http-{i}"))
-                .spawn(move || worker_loop(&receiver, &state))
+                .spawn(move || blocking_worker_loop(&receiver, &state, &limits, io_timeout))
                 .map_err(|e| ServiceError::InvalidRequest(format!("spawn worker: {e}")))?,
         );
     }
@@ -219,12 +413,13 @@ pub fn start_with_engine(
             })
             .map_err(|e| ServiceError::InvalidRequest(format!("spawn acceptor: {e}")))?
     };
+    threads.push(acceptor);
 
     Ok(ServerHandle {
         local_addr,
         shutdown,
-        acceptor: Some(acceptor),
-        workers,
+        threads,
+        waker: None,
         engine,
     })
 }
@@ -238,6 +433,12 @@ struct ServerState {
     /// Cap on `active_jobs`; further `/synthesize` requests get a 503
     /// *before* admission (so no ε is drawn for refused work).
     max_jobs: usize,
+    /// Per-dataset token buckets for `/synthesize`; `None` when disabled.
+    rate_limits: Option<TokenBuckets>,
+    /// Fault-injection routes enabled (`/__debug/…`).
+    debug_endpoints: bool,
+    /// Live connection/queue occupancy (reactor writes, `/metrics` reads).
+    frontend: Arc<FrontendStats>,
 }
 
 /// RAII token for one slot of the synthesis-job cap; owns the state so it can
@@ -276,7 +477,12 @@ impl Drop for JobSlot {
     }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<ServerState>) {
+fn blocking_worker_loop(
+    receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    state: &Arc<ServerState>,
+    limits: &HttpLimits,
+    io_timeout: Duration,
+) {
     loop {
         let stream = {
             // A panic elsewhere must not wedge the whole worker pool: take
@@ -289,9 +495,9 @@ fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<Ser
         let Ok(stream) = stream else {
             return; // channel closed: server stopping
         };
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        let response = match read_request(&stream) {
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        let response = match read_request(&stream, limits) {
             Ok(request) => handle_request(state, &request),
             Err(HttpError { status, message }) => error_body(status, "bad_request", &message),
         };
@@ -336,6 +542,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         _ if path.starts_with("/jobs/") => "/jobs/:id",
         _ if path.starts_with("/budget/") => "/budget/:name",
+        _ if path.starts_with("/__debug/") => "/__debug",
         _ => "unknown",
     }
 }
@@ -361,6 +568,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ("GET", _) if path.starts_with("/budget/") => {
             handle_budget(engine, path.strip_prefix("/budget/").unwrap_or_default())
         }
+        ("GET", _) if path.starts_with("/__debug/") => handle_debug(state, path),
         (_, "/healthz" | "/datasets" | "/synthesize" | "/evaluate" | "/metrics") => {
             error_body(405, "method_not_allowed", "method not allowed")
         }
@@ -392,6 +600,32 @@ fn handle_healthz(engine: &Arc<SynthesisEngine>) -> Response {
             ),
         ]),
     )
+}
+
+/// `GET /__debug/sleep/:ms` and `GET /__debug/payload/:bytes`: fault
+/// injection for the overload tests. Behind [`ServiceConfig::debug_endpoints`]
+/// (they are indistinguishable from 404s when disabled, so the flag leaks
+/// nothing).
+fn handle_debug(state: &Arc<ServerState>, path: &str) -> Response {
+    if !state.debug_endpoints {
+        return error_body(404, "not_found", &format!("no route for {path}"));
+    }
+    if let Some(ms_text) = path.strip_prefix("/__debug/sleep/") {
+        let Ok(ms) = ms_text.parse::<u64>() else {
+            return error_body(400, "invalid_request", "sleep duration must be an integer");
+        };
+        let ms = ms.min(10_000);
+        std::thread::sleep(Duration::from_millis(ms));
+        return ok_json(200, obj(vec![("slept_ms", Value::UInt(ms))]));
+    }
+    if let Some(bytes_text) = path.strip_prefix("/__debug/payload/") {
+        let Ok(bytes) = bytes_text.parse::<usize>() else {
+            return error_body(400, "invalid_request", "payload size must be an integer");
+        };
+        let bytes = bytes.min(8 * 1024 * 1024);
+        return Response::text(200, "x".repeat(bytes));
+    }
+    error_body(404, "not_found", &format!("no route for {path}"))
 }
 
 fn handle_list_datasets(engine: &Arc<SynthesisEngine>) -> Response {
@@ -499,10 +733,27 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
         Ok(r) => r,
         Err(resp) => return resp,
     };
+    // Rate limiting is the outermost shed layer: a tenant hammering the
+    // endpoint burns 429s before touching job slots or the ε ledger.
+    if let Some(buckets) = &state.rate_limits {
+        if let Err(retry_after) = buckets.try_take(&request.dataset, Instant::now()) {
+            state.engine.telemetry().record_shed("rate_limit");
+            return error_body(
+                429,
+                "rate_limited",
+                &format!(
+                    "dataset '{}' exceeded its request rate; retry in {retry_after}s",
+                    request.dataset
+                ),
+            )
+            .with_retry_after(retry_after);
+        }
+    }
     // Acquire a job slot *before* admission: a refused request must not have
     // drawn ε, and the slot cap keeps a flood of (ε-free) cache hits from
     // spawning unbounded background work.
     let Some(slot) = state.try_acquire_job_slot() else {
+        state.engine.telemetry().record_shed("job_slots");
         return error_body(
             503,
             "overloaded",
@@ -510,7 +761,8 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
                 "{} synthesis jobs already in flight; retry later",
                 state.max_jobs
             ),
-        );
+        )
+        .with_retry_after(1);
     };
     // Synchronous admission: over-budget requests are refused here, before
     // any learning runs (402), and never create a job.
@@ -627,8 +879,9 @@ fn handle_evaluate(engine: &Arc<SynthesisEngine>) -> Response {
 
 /// `GET /metrics`: the Prometheus text exposition. Live counters and
 /// histograms accumulate on the request path; point-in-time state (ledger
-/// balances, queue depth, slot occupancy, cache size) is refreshed into
-/// gauges here, at scrape time, so there is exactly one renderer.
+/// balances, queue depth, slot occupancy, cache size, open connections) is
+/// refreshed into gauges here, at scrape time, so there is exactly one
+/// renderer.
 fn handle_metrics(state: &Arc<ServerState>) -> Response {
     let engine = &state.engine;
     let metrics = engine.telemetry().metrics();
@@ -692,6 +945,20 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
             &[],
         )
         .set(engine.cache().len() as f64);
+    metrics
+        .gauge(
+            "agmdp_open_connections",
+            "Connections currently registered with the reactor.",
+            &[],
+        )
+        .set(state.frontend.open_conns() as f64);
+    metrics
+        .gauge(
+            "agmdp_http_queue_depth",
+            "Requests currently queued for or being handled by HTTP workers.",
+            &[],
+        )
+        .set(state.frontend.queued_jobs() as f64);
     Response::metrics_text(200, metrics.render())
 }
 
@@ -923,6 +1190,9 @@ mod tests {
             jobs: JobStore::new(),
             active_jobs: AtomicUsize::new(0),
             max_jobs,
+            rate_limits: None,
+            debug_endpoints: false,
+            frontend: Arc::new(FrontendStats::default()),
         })
     }
 
@@ -1127,6 +1397,8 @@ mod tests {
             .contains("agmdp_epsilon_remaining{dataset=\"toy\"} 10"));
         assert!(metrics.body.contains("agmdp_job_slots_max 16"));
         assert!(metrics.body.contains("agmdp_fit_cache_entries 0"));
+        assert!(metrics.body.contains("agmdp_open_connections 0"));
+        assert!(metrics.body.contains("agmdp_http_queue_depth 0"));
         // The exposition goes out as Prometheus text, not JSON.
         assert!(metrics.content_type.starts_with("text/plain"));
         // Wrong method gets a 405 like the other fixed routes.
@@ -1146,6 +1418,7 @@ mod tests {
         assert_eq!(endpoint_label("/jobs/42"), "/jobs/:id");
         assert_eq!(endpoint_label("/budget/lastfm"), "/budget/:name");
         assert_eq!(endpoint_label("/metrics"), "/metrics");
+        assert_eq!(endpoint_label("/__debug/sleep/50"), "/__debug");
         assert_eq!(endpoint_label("/something-else"), "unknown");
     }
 
@@ -1280,8 +1553,77 @@ mod tests {
         );
         assert_eq!(refused.status, 503, "{}", refused.body);
         assert!(refused.body.contains("overloaded"));
+        assert_eq!(refused.retry_after, Some(1), "shed carries Retry-After");
         // The refusal happened before admission: no epsilon was drawn.
         let spent = state.engine.ledger().status("toy").unwrap().spent;
         assert_eq!(spent, 0.0);
+        // The shed ticked the counter exactly once, with its reason.
+        let metrics = get(&state, "/metrics");
+        assert!(
+            metrics
+                .body
+                .contains("agmdp_http_sheds_total{reason=\"job_slots\"} 1"),
+            "{}",
+            metrics.body
+        );
+    }
+
+    #[test]
+    fn rate_limit_refuses_with_429_per_dataset() {
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine
+            .register_dataset("toy", toy_social_graph(), 10.0)
+            .unwrap();
+        let mut state = test_state_with(engine, 16);
+        // 1 rps, burst 1: the second immediate request is refused.
+        Arc::get_mut(&mut state)
+            .map(|s| s.rate_limits = Some(TokenBuckets::new(1.0, 1.0)))
+            .unwrap();
+        let first = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1}"#,
+        );
+        assert_eq!(first.status, 202, "{}", first.body);
+        let refused = post(
+            &state,
+            "/synthesize",
+            r#"{"dataset":"toy","epsilon":0.5,"seed":1}"#,
+        );
+        assert_eq!(refused.status, 429, "{}", refused.body);
+        assert!(refused.body.contains("rate_limited"));
+        assert!(refused.retry_after.is_some());
+        // Refused before the slot/ledger layers: the shed reason says so.
+        let metrics = get(&state, "/metrics");
+        assert!(
+            metrics
+                .body
+                .contains("agmdp_http_sheds_total{reason=\"rate_limit\"} 1"),
+            "{}",
+            metrics.body
+        );
+        wait_for_job(&state, 1);
+    }
+
+    #[test]
+    fn debug_routes_are_gated_by_config() {
+        let state = test_state();
+        // Disabled (the default): indistinguishable from unknown routes.
+        assert_eq!(get(&state, "/__debug/sleep/1").status, 404);
+        assert_eq!(get(&state, "/__debug/payload/10").status, 404);
+
+        let engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        let mut enabled = test_state_with(engine, 16);
+        Arc::get_mut(&mut enabled)
+            .map(|s| s.debug_endpoints = true)
+            .unwrap();
+        let slept = get(&enabled, "/__debug/sleep/1");
+        assert_eq!(slept.status, 200, "{}", slept.body);
+        assert!(slept.body.contains("\"slept_ms\":1"));
+        let payload = get(&enabled, "/__debug/payload/1000");
+        assert_eq!(payload.status, 200);
+        assert_eq!(payload.body.len(), 1000);
+        assert_eq!(get(&enabled, "/__debug/sleep/abc").status, 400);
+        assert_eq!(get(&enabled, "/__debug/nothing").status, 404);
     }
 }

@@ -10,6 +10,7 @@
 //! module (and `server.rs` for whole-request latency) — exactly the lint
 //! boundary `docs/INVARIANTS.md` draws.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -126,6 +127,42 @@ impl Telemetry {
             .inc();
     }
 
+    /// Records one load-shedding event. `reason` is one of the fixed shed
+    /// policy labels (`max_conns`, `queue_full`, `rate_limit`, `job_slots`)
+    /// — see the shed table in `reactor.rs`.
+    pub fn record_shed(&self, reason: &str) {
+        self.metrics
+            .counter(
+                "agmdp_http_sheds_total",
+                "Requests or connections refused by load shedding, by reason.",
+                &[("reason", reason)],
+            )
+            .inc();
+    }
+
+    /// Records one connection timeout. `kind` is `read` (slowloris 408),
+    /// `write` (stalled reader) or `idle` (keep-alive rotation).
+    pub fn record_conn_timeout(&self, kind: &str) {
+        self.metrics
+            .counter(
+                "agmdp_conn_timeouts_total",
+                "Connections timed out by the reactor, by deadline kind.",
+                &[("kind", kind)],
+            )
+            .inc();
+    }
+
+    /// Records a keep-alive connection serving a request beyond its first.
+    pub fn record_keepalive_reuse(&self) {
+        self.metrics
+            .counter(
+                "agmdp_keepalive_reuse_total",
+                "Requests served on an already-used keep-alive connection.",
+                &[],
+            )
+            .inc();
+    }
+
     /// Records a finished background job.
     pub fn record_job_outcome(&self, completed: bool) {
         self.metrics
@@ -159,6 +196,50 @@ impl Telemetry {
 impl Default for Telemetry {
     fn default() -> Self {
         Self::quiet()
+    }
+}
+
+/// Live front-end occupancy, shared between the reactor (which mutates it)
+/// and `GET /metrics` (which reads it into gauges at scrape time). Plain
+/// atomics rather than registry gauges so the hot accept/dispatch path
+/// never touches the metrics registry's locks.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    open_conns: AtomicUsize,
+    queued_jobs: AtomicUsize,
+}
+
+impl FrontendStats {
+    /// A connection was accepted and registered.
+    pub fn conn_opened(&self) {
+        self.open_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A registered connection was dropped.
+    pub fn conn_closed(&self) {
+        self.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently registered with the reactor.
+    #[must_use]
+    pub fn open_conns(&self) -> usize {
+        self.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// A request entered the bounded job queue.
+    pub fn job_queued(&self) {
+        self.queued_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the queue (picked up, completed, or shed).
+    pub fn job_dequeued(&self) {
+        self.queued_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently queued or being handled by HTTP workers.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        self.queued_jobs.load(Ordering::Relaxed)
     }
 }
 

@@ -12,8 +12,11 @@
 //! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
 //!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
 //! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
-//!   [--quiet]` — run the multi-tenant synthesis server with a persistent
-//!   privacy-budget ledger and a Prometheus `GET /metrics` endpoint.
+//!   [--transport event|blocking] [--max-conns <n>] [--queue-depth <n>]
+//!   [--rate-limit <rps>] [--quiet]` — run the multi-tenant synthesis server
+//!   (event-driven keep-alive front end with explicit load shedding) with a
+//!   persistent privacy-budget ledger and a Prometheus `GET /metrics`
+//!   endpoint.
 //! * `evaluate --plan <file> [--out <dir>] [--markdown <file>] [options]` —
 //!   run a declarative experiment plan (the paper's evaluation) and emit
 //!   per-trial and aggregate artifacts as JSON/CSV/markdown.
@@ -26,6 +29,7 @@
 mod args;
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rand::SeedableRng;
 
@@ -56,7 +60,11 @@ USAGE:
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
-                     [--quiet]
+                     [--transport event|blocking] [--max-conns <n>]
+                     [--queue-depth <n>] [--rate-limit <rps>]
+                     [--max-body-bytes <n>] [--read-timeout-secs <s>]
+                     [--write-timeout-secs <s>] [--idle-timeout-secs <s>]
+                     [--quiet] [--debug-endpoints]
     agmdp evaluate   --plan <plan-file> [--out <dir>] [--markdown <file>]
                      [--repetitions <n>] [--threads <n>] [--seed <s>]
     agmdp lint       [--root <dir>] [--json]
@@ -395,21 +403,81 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = args::parse(
         args,
-        &["--addr", "--threads", "--ledger-path"],
-        &["--quiet"],
+        &[
+            "--addr",
+            "--threads",
+            "--ledger-path",
+            "--transport",
+            "--max-conns",
+            "--queue-depth",
+            "--rate-limit",
+            "--max-body-bytes",
+            "--read-timeout-secs",
+            "--write-timeout-secs",
+            "--idle-timeout-secs",
+        ],
+        &["--quiet", "--debug-endpoints"],
     )?;
     let default = ServiceConfig::default();
+    let transport = match flags.get("--transport").unwrap_or("event") {
+        "event" => service::Transport::Event,
+        "blocking" => service::Transport::Blocking,
+        other => {
+            return Err(format!(
+                "--transport must be 'event' or 'blocking', got '{other}'"
+            ))
+        }
+    };
     let config = ServiceConfig {
         addr: flags.get("--addr").unwrap_or(&default.addr).to_string(),
         threads: flags.get_parsed_or("--threads", "a positive integer", default.threads)?,
         ledger_path: flags.get("--ledger-path").map(Into::into),
         quiet: flags.has("--quiet"),
+        transport,
+        max_conns: flags.get_parsed_or("--max-conns", "a positive integer", default.max_conns)?,
+        queue_depth: flags.get_parsed_or(
+            "--queue-depth",
+            "a positive integer",
+            default.queue_depth,
+        )?,
+        rate_limit: flags.get_parsed("--rate-limit", "requests per second")?,
+        max_body_bytes: flags.get_parsed_or(
+            "--max-body-bytes",
+            "a positive integer",
+            default.max_body_bytes,
+        )?,
+        read_timeout: Duration::from_secs(flags.get_parsed_or(
+            "--read-timeout-secs",
+            "seconds",
+            default.read_timeout.as_secs(),
+        )?),
+        write_timeout: Duration::from_secs(flags.get_parsed_or(
+            "--write-timeout-secs",
+            "seconds",
+            default.write_timeout.as_secs(),
+        )?),
+        idle_timeout: Duration::from_secs(flags.get_parsed_or(
+            "--idle-timeout-secs",
+            "seconds",
+            default.idle_timeout.as_secs(),
+        )?),
+        debug_endpoints: flags.has("--debug-endpoints"),
+        ..default
     };
     let handle = service::start(&config).map_err(|e| format!("failed to start server: {e}"))?;
     println!(
-        "agmdp-service listening on http://{} ({} worker threads, ledger: {}, access log: {})",
+        "agmdp-service listening on http://{} ({} transport, {} worker threads, max-conns {}, queue-depth {}, rate-limit {}, ledger: {}, access log: {})",
         handle.local_addr(),
+        match config.transport {
+            service::Transport::Event => "event",
+            service::Transport::Blocking => "blocking",
+        },
         config.threads,
+        config.max_conns,
+        config.queue_depth,
+        config
+            .rate_limit
+            .map_or("off".to_string(), |r| format!("{r}/s per dataset")),
         config
             .ledger_path
             .as_deref()

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use agmdp::graph::io;
 use agmdp::service::json;
-use agmdp::service::{ServerHandle, ServiceConfig};
+use agmdp::service::{ServerHandle, ServiceConfig, Transport};
 use serde::Value;
 
 // ---------------------------------------------------------------------------
@@ -122,6 +122,7 @@ fn boot(ledger_path: &std::path::Path) -> ServerHandle {
         threads: 3,
         ledger_path: Some(ledger_path.to_path_buf()),
         quiet: true,
+        ..ServiceConfig::default()
     })
     .expect("server start")
 }
@@ -269,6 +270,7 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
         threads: 2,
         ledger_path: None,
         quiet: true,
+        ..ServiceConfig::default()
     })
     .expect("server start");
     let addr = server.local_addr();
@@ -351,6 +353,7 @@ fn malformed_requests_are_rejected_cleanly() {
         threads: 2,
         ledger_path: None,
         quiet: true,
+        ..ServiceConfig::default()
     })
     .expect("server start");
     let addr = server.local_addr();
@@ -374,4 +377,119 @@ fn malformed_requests_are_rejected_cleanly() {
     assert!(raw.starts_with("HTTP/1.1 4"), "{raw:?}");
 
     server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive and byte-identity across transports / thread counts.
+// ---------------------------------------------------------------------------
+
+fn boot_with(transport: Transport, threads: usize) -> ServerHandle {
+    agmdp::service::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        ledger_path: None,
+        quiet: true,
+        transport,
+        ..ServiceConfig::default()
+    })
+    .expect("server start")
+}
+
+/// One request per fresh connection with `Connection: close`, returning the
+/// complete raw response bytes. Works on both transports.
+fn raw_roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    raw
+}
+
+/// The probe script for byte-identity checks: deterministic endpoints only
+/// (`/metrics` is excluded — its counters depend on scrape order).
+const PROBES: &[(&str, &str, &str)] = &[
+    ("GET", "/healthz", ""),
+    ("GET", "/no-such-route", ""),
+    ("POST", "/synthesize", "{not json"),
+    ("DELETE", "/healthz", ""),
+    ("GET", "/budget/ghost", ""),
+];
+
+#[test]
+fn responses_are_byte_identical_across_transports() {
+    let event = boot_with(Transport::Event, 2);
+    let blocking = boot_with(Transport::Blocking, 2);
+    for (method, path, body) in PROBES {
+        let from_event = raw_roundtrip(event.local_addr(), method, path, body);
+        let from_blocking = raw_roundtrip(blocking.local_addr(), method, path, body);
+        assert_eq!(
+            from_event,
+            from_blocking,
+            "transport-dependent bytes for {method} {path}:\nevent:    {:?}\nblocking: {:?}",
+            String::from_utf8_lossy(&from_event),
+            String::from_utf8_lossy(&from_blocking),
+        );
+    }
+    event.stop();
+    blocking.stop();
+}
+
+/// Runs the probe script as a single pipelined keep-alive connection and
+/// returns the concatenated response bytes (read to EOF after the final
+/// `Connection: close`).
+#[cfg(unix)]
+fn keepalive_script(addr: SocketAddr) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut script = Vec::new();
+    for (i, (method, path, body)) in PROBES.iter().enumerate() {
+        let last = i + 1 == PROBES.len();
+        let connection = if last { "close" } else { "keep-alive" };
+        script.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        script.extend_from_slice(body.as_bytes());
+    }
+    stream.write_all(&script).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read responses");
+    raw
+}
+
+#[cfg(unix)]
+#[test]
+fn keepalive_pipeline_is_byte_identical_across_thread_counts() {
+    let one = boot_with(Transport::Event, 1);
+    let many = boot_with(Transport::Event, 4);
+    let from_one = keepalive_script(one.local_addr());
+    let from_many = keepalive_script(many.local_addr());
+    assert!(!from_one.is_empty());
+    // All five responses came back over the single connection, in order.
+    let text = String::from_utf8_lossy(&from_one);
+    assert_eq!(text.matches("HTTP/1.1 ").count(), PROBES.len(), "{text}");
+    assert_eq!(text.matches("Connection: keep-alive").count(), 4, "{text}");
+    assert_eq!(text.matches("Connection: close").count(), 1, "{text}");
+    assert_eq!(
+        from_one,
+        from_many,
+        "thread-count-dependent bytes:\n1: {:?}\n4: {:?}",
+        String::from_utf8_lossy(&from_one),
+        String::from_utf8_lossy(&from_many),
+    );
+    one.stop();
+    many.stop();
 }
