@@ -49,6 +49,13 @@ const EXPOSITION_PATH_FILES: &[&str] = &[
     "crates/service/src/telemetry.rs",
 ];
 
+/// The zero-copy storage path: the mmap loader hands out borrowed slices of
+/// a file whose contents the process does not control, and the release
+/// store's lookups run on the `/synthesize` request path — a corrupt or
+/// truncated file must degrade to a typed error (or a store miss), never a
+/// panic in a worker.
+const STORAGE_PATH_FILES: &[&str] = &["crates/graph/src/mmap.rs", "crates/service/src/store.rs"];
+
 /// Classifies one workspace-relative path. Returns `None` for files the
 /// linter should not scan at all (vendored code, tests, benches, fixtures).
 pub fn scope_for(rel_path: &str) -> Option<Scope> {
@@ -87,8 +94,9 @@ pub fn scope_for(rel_path: &str) -> Option<Scope> {
         scope.epsilon_flow = true;
     }
 
-    scope.panic_freedom =
-        REQUEST_PATH_FILES.contains(&rel_path) || EXPOSITION_PATH_FILES.contains(&rel_path);
+    scope.panic_freedom = REQUEST_PATH_FILES.contains(&rel_path)
+        || EXPOSITION_PATH_FILES.contains(&rel_path)
+        || STORAGE_PATH_FILES.contains(&rel_path);
     Some(scope)
 }
 
@@ -138,7 +146,11 @@ mod tests {
 
     #[test]
     fn panic_freedom_covers_exactly_the_request_and_exposition_paths() {
-        for path in REQUEST_PATH_FILES.iter().chain(EXPOSITION_PATH_FILES) {
+        for path in REQUEST_PATH_FILES
+            .iter()
+            .chain(EXPOSITION_PATH_FILES)
+            .chain(STORAGE_PATH_FILES)
+        {
             assert!(scope_for(path).unwrap().panic_freedom, "{path}");
         }
         // The event-driven front end is inside the policy: a panic in the
@@ -156,6 +168,16 @@ mod tests {
                 .unwrap()
                 .panic_freedom
         );
+        // The storage path keeps both the mmap loader (graph crate) and the
+        // release store (service crate) inside the policy; other graph-crate
+        // files stay outside.
+        assert!(scope_for("crates/graph/src/mmap.rs").unwrap().panic_freedom);
+        assert!(
+            scope_for("crates/service/src/store.rs")
+                .unwrap()
+                .panic_freedom
+        );
+        assert!(!scope_for("crates/graph/src/io.rs").unwrap().panic_freedom);
         assert!(
             !scope_for("crates/core/src/workflow.rs")
                 .unwrap()

@@ -1,0 +1,12 @@
+//! Fixture: the zero-copy storage path panics on corrupt input (linted as
+//! crates/graph/src/mmap.rs or crates/service/src/store.rs).
+
+pub fn header(bytes: &[u8]) -> (u64, u64) {
+    let magic = &bytes[0..4];
+    if magic != b"AGB1" {
+        panic!("bad magic");
+    }
+    let nodes = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let edges = u64::from_le_bytes(bytes[20..28].try_into().expect("edge count"));
+    (nodes, edges)
+}

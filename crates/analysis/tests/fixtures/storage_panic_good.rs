@@ -1,0 +1,13 @@
+//! Fixture: the zero-copy storage path degrades corrupt input to a typed
+//! error or a store miss (linted as crates/graph/src/mmap.rs or
+//! crates/service/src/store.rs).
+
+pub fn header(bytes: &[u8]) -> Option<(u64, u64)> {
+    let magic = bytes.get(0..4)?;
+    if magic != b"AGB1" {
+        return None;
+    }
+    let nodes = u64::from_le_bytes(bytes.get(12..20)?.try_into().ok()?);
+    let edges = u64::from_le_bytes(bytes.get(20..28)?.try_into().ok()?);
+    Some((nodes, edges))
+}

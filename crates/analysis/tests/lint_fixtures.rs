@@ -17,6 +17,8 @@ const HYGIENE_BAD: &str = include_str!("fixtures/hygiene_bad.rs");
 const HYGIENE_GOOD: &str = include_str!("fixtures/hygiene_good.rs");
 const OBS_EXPOSITION_BAD: &str = include_str!("fixtures/obs_exposition_bad.rs");
 const OBS_EXPOSITION_GOOD: &str = include_str!("fixtures/obs_exposition_good.rs");
+const STORAGE_PANIC_BAD: &str = include_str!("fixtures/storage_panic_bad.rs");
+const STORAGE_PANIC_GOOD: &str = include_str!("fixtures/storage_panic_good.rs");
 const WAIVER_GOOD: &str = include_str!("fixtures/waiver_good.rs");
 const WAIVER_MISSING_REASON: &str = include_str!("fixtures/waiver_missing_reason.rs");
 
@@ -84,6 +86,25 @@ fn obs_exposition_path_is_panic_freedom_scoped() {
         elsewhere.iter().all(|f| f.family == LintFamily::Hygiene),
         "{elsewhere:?}"
     );
+}
+
+#[test]
+fn storage_path_is_panic_freedom_scoped() {
+    // The same fixture is linted as both storage-path files: the mmap loader
+    // in the graph crate and the release store in the service crate.
+    for path in ["crates/graph/src/mmap.rs", "crates/service/src/store.rs"] {
+        let fired = lint_source(path, STORAGE_PANIC_BAD);
+        assert!(fired.iter().all(|f| f.family == LintFamily::PanicFreedom));
+        let fired_rules = rules(&fired);
+        assert!(fired_rules.contains(&"slice-index"), "{path}: {fired:?}");
+        assert!(fired_rules.contains(&"panic-macro"), "{path}: {fired:?}");
+        assert!(fired_rules.contains(&"unwrap"), "{path}: {fired:?}");
+        assert!(fired_rules.contains(&"expect"), "{path}: {fired:?}");
+        assert!(lint_source(path, STORAGE_PANIC_GOOD).is_empty(), "{path}");
+    }
+    // The rest of the graph crate stays outside the panic-freedom policy:
+    // the owned deserialiser may index freely after validation.
+    assert!(lint_source("crates/graph/src/io.rs", STORAGE_PANIC_BAD).is_empty());
 }
 
 #[test]

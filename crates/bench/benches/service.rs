@@ -11,6 +11,9 @@
 //!   paths, so the end-to-end ratio is smaller than the params-only ratio;
 //!   `--method smooth` variants shift more of the request into the fit and
 //!   show the cache's effect on an expensive estimator.
+//! * `synthesize_store_hit` — the same repeat request answered from the
+//!   content-addressed release store: a sidecar read plus a trusted mmap of
+//!   the stored `.agb`, skipping fit *and* sampling entirely.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -19,6 +22,7 @@ use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_datasets::{generate_dataset, DatasetSpec};
 use agmdp_service::engine::{SynthesisEngine, SynthesisRequest};
 use agmdp_service::ledger::BudgetLedger;
+use agmdp_service::ReleaseStore;
 
 fn engine_with_dataset() -> SynthesisEngine {
     let input = generate_dataset(&DatasetSpec::lastfm().scaled(0.3), 5).expect("dataset");
@@ -88,6 +92,24 @@ fn service(c: &mut Criterion) {
             assert!(outcome.cache_hit);
             black_box(outcome.stats.edges);
         });
+    });
+
+    // -- Repeat request served from the on-disk release store: no fit, no
+    //    sampling, just a trusted mmap of the stored `.agb` artifact. --------
+    group.bench_function("synthesize_store_hit", |b| {
+        let store_dir =
+            std::env::temp_dir().join(format!("agmdp_service_bench_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&store_dir).ok();
+        let mut engine = engine_with_dataset();
+        engine.set_release_store(ReleaseStore::open(&store_dir).expect("store"));
+        let req = request(7, CorrelationMethod::default());
+        engine.synthesize(&req).unwrap(); // cold run writes the artifact
+        b.iter(|| {
+            let outcome = engine.store_lookup(&req).expect("store hit");
+            assert_eq!(outcome.epsilon_spent, 0.0);
+            black_box(outcome.stats.edges);
+        });
+        std::fs::remove_dir_all(&store_dir).ok();
     });
 
     // -- Full request with the expensive smooth-sensitivity estimator. -------

@@ -109,85 +109,37 @@ impl FrozenGraph {
         neighbors: Vec<NodeId>,
         attributes: Vec<u32>,
     ) -> Result<Self> {
-        let invalid = |msg: String| GraphError::Format(format!("invalid CSR graph: {msg}"));
-        if offsets.is_empty() {
-            return Err(invalid("empty offsets array".into()));
-        }
-        let n = offsets.len() - 1;
-        if attributes.len() != n {
-            return Err(invalid(format!(
-                "{} attribute codes for {n} nodes",
-                attributes.len()
-            )));
-        }
-        if offsets[0] != 0 {
-            return Err(invalid(format!(
-                "offsets must start at 0, got {}",
-                offsets[0]
-            )));
-        }
-        if *offsets.last().expect("non-empty") as usize != neighbors.len() {
-            return Err(invalid(format!(
-                "final offset {} does not match {} neighbor entries",
-                offsets.last().expect("non-empty"),
-                neighbors.len()
-            )));
-        }
-        if neighbors.len() % 2 != 0 {
-            return Err(invalid(format!(
-                "odd half-edge count {} (undirected graphs store each edge twice)",
-                neighbors.len()
-            )));
-        }
-        for w in offsets.windows(2) {
-            if w[1] < w[0] {
-                return Err(invalid("offsets must be non-decreasing".into()));
-            }
-        }
-        for &code in &attributes {
-            schema.validate_code(code)?;
-        }
-        let graph = Self {
+        validate_csr_structure(&offsets, &neighbors)?;
+        validate_attribute_codes(schema, &attributes, offsets.len() - 1)?;
+        let num_edges = neighbors.len() / 2;
+        Ok(Self {
             schema,
             offsets,
             neighbors,
             attributes,
-            num_edges: 0,
-        };
-        // Per-list structure: strictly sorted, in range, no self-loops.
-        for v in graph.nodes() {
-            let list = graph.neighbors(v);
-            let mut prev: Option<NodeId> = None;
-            for &u in list {
-                if (u as usize) >= n {
-                    return Err(GraphError::NodeOutOfRange {
-                        node: u,
-                        num_nodes: n,
-                    });
-                }
-                if u == v {
-                    return Err(GraphError::SelfLoop { node: v });
-                }
-                if let Some(p) = prev {
-                    if p >= u {
-                        return Err(invalid(format!(
-                            "neighbor list of node {v} is not strictly sorted"
-                        )));
-                    }
-                }
-                prev = Some(u);
-            }
+            num_edges,
+        })
+    }
+
+    /// Builds a snapshot from CSR arrays whose invariants the caller has
+    /// already established (used by [`crate::mmap::FrozenView::to_frozen`],
+    /// whose slices were validated at view construction) — skips the
+    /// `O(n + m log d)` re-validation of [`FrozenGraph::from_csr`].
+    pub(crate) fn from_csr_unchecked(
+        schema: AttributeSchema,
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        attributes: Vec<u32>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty() && neighbors.len() == 2 * num_edges);
+        Self {
+            schema,
+            offsets,
+            neighbors,
+            attributes,
+            num_edges,
         }
-        // Symmetry: every half-edge has its mirror.
-        for v in graph.nodes() {
-            for &u in graph.neighbors(v) {
-                if graph.neighbors(u).binary_search(&v).is_err() {
-                    return Err(invalid(format!("edge ({v}, {u}) is not symmetric")));
-                }
-            }
-        }
-        let num_edges = graph.neighbors.len() / 2;
-        Ok(Self { num_edges, ..graph })
     }
 
     /// Reconstructs a mutable [`AttributedGraph`] equal to the graph this
@@ -322,6 +274,99 @@ impl FrozenGraph {
     pub fn csr_parts(&self) -> (&[u32], &[NodeId], &[u32]) {
         (&self.offsets, &self.neighbors, &self.attributes)
     }
+}
+
+/// Validates every structural CSR invariant over raw slices — shared by
+/// [`FrozenGraph::from_csr`] (owned deserialisation) and
+/// [`crate::mmap::FrozenView::new`] (zero-copy views), so both paths accept
+/// and reject exactly the same array contents.
+///
+/// Checks: non-empty offsets starting at 0 and ending at `neighbors.len()`
+/// (which must be even), non-decreasing offsets, each node's list strictly
+/// sorted / in-range / self-loop-free, and edge symmetry.
+pub(crate) fn validate_csr_structure(offsets: &[u32], neighbors: &[NodeId]) -> Result<()> {
+    let invalid = |msg: String| GraphError::Format(format!("invalid CSR graph: {msg}"));
+    if offsets.is_empty() {
+        return Err(invalid("empty offsets array".into()));
+    }
+    let n = offsets.len() - 1;
+    if offsets[0] != 0 {
+        return Err(invalid(format!(
+            "offsets must start at 0, got {}",
+            offsets[0]
+        )));
+    }
+    if *offsets.last().expect("non-empty") as usize != neighbors.len() {
+        return Err(invalid(format!(
+            "final offset {} does not match {} neighbor entries",
+            offsets.last().expect("non-empty"),
+            neighbors.len()
+        )));
+    }
+    if neighbors.len() % 2 != 0 {
+        return Err(invalid(format!(
+            "odd half-edge count {} (undirected graphs store each edge twice)",
+            neighbors.len()
+        )));
+    }
+    for w in offsets.windows(2) {
+        if w[1] < w[0] {
+            return Err(invalid("offsets must be non-decreasing".into()));
+        }
+    }
+    let list = |v: usize| &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+    // Per-list structure: strictly sorted, in range, no self-loops.
+    for v in 0..n {
+        let mut prev: Option<NodeId> = None;
+        for &u in list(v) {
+            if (u as usize) >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    num_nodes: n,
+                });
+            }
+            if u as usize == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if let Some(p) = prev {
+                if p >= u {
+                    return Err(invalid(format!(
+                        "neighbor list of node {v} is not strictly sorted"
+                    )));
+                }
+            }
+            prev = Some(u);
+        }
+    }
+    // Symmetry: every half-edge has its mirror.
+    for v in 0..n {
+        for &u in list(v) {
+            if list(u as usize).binary_search(&(v as NodeId)).is_err() {
+                return Err(invalid(format!("edge ({v}, {u}) is not symmetric")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates that `attributes` holds exactly `n` codes, each representable
+/// under `schema` — the attribute half of the CSR validation, shared with
+/// the zero-copy view.
+pub(crate) fn validate_attribute_codes(
+    schema: AttributeSchema,
+    attributes: &[u32],
+    n: usize,
+) -> Result<()> {
+    if attributes.len() != n {
+        return Err(GraphError::Format(format!(
+            "invalid CSR graph: {} attribute codes for {n} nodes",
+            attributes.len()
+        )));
+    }
+    for &code in attributes {
+        schema.validate_code(code)?;
+    }
+    Ok(())
 }
 
 impl GraphView for FrozenGraph {

@@ -179,18 +179,137 @@ pub const BINARY_VERSION: u32 = 1;
 /// Conventional file extension for the binary format.
 pub const BINARY_EXTENSION: &str = "agb";
 
-const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
-const CHECKSUM_LEN: usize = 8;
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+pub(crate) const CHECKSUM_LEN: usize = 8;
 
 /// FNV-1a 64-bit hash — the binary format's integrity checksum. Not
 /// cryptographic; it guards against bit rot and interrupted writes.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// The section geometry a validated `.agb` header implies — shared between
+/// the owned deserialiser ([`from_binary`]) and the zero-copy view
+/// ([`crate::mmap::FrozenView`]), so both paths accept and reject exactly
+/// the same files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BinaryLayout {
+    /// Node count `n`.
+    pub n: usize,
+    /// Undirected edge count `m`.
+    pub m: usize,
+    /// Attribute width `w` (0 ⇒ no attribute section).
+    pub width: usize,
+    /// Exact total byte length of a well-formed file with this header.
+    pub total_len: usize,
+}
+
+impl BinaryLayout {
+    /// Words in the CSR offsets section (`n + 1`).
+    pub fn offset_words(self) -> usize {
+        self.n + 1
+    }
+
+    /// Words in the CSR neighbors section (`2m`).
+    pub fn neighbor_words(self) -> usize {
+        2 * self.m
+    }
+
+    /// Words in the attribute section (`n`, or 0 when `width == 0`).
+    pub fn attr_words(self) -> usize {
+        if self.width > 0 {
+            self.n
+        } else {
+            0
+        }
+    }
+}
+
+/// Validates the fixed-size header plus overall length of a binary graph
+/// buffer: magic, version, dimension limits, truncation and trailing bytes.
+/// On success the buffer is exactly `total_len` bytes and every section
+/// boundary implied by the returned layout is in range. Does **not** verify
+/// the checksum — callers decide whether to pay that full-payload scan
+/// ([`verify_checksum`]).
+pub(crate) fn parse_layout(bytes: &[u8]) -> Result<BinaryLayout> {
+    if bytes.len() < BINARY_MAGIC.len() || !is_binary(bytes) {
+        return Err(GraphError::BadMagic);
+    }
+    let mut r = ByteReader::new(bytes);
+    let _magic = r.take(4)?;
+    let version = r.u32()?;
+    if version != BINARY_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: BINARY_VERSION,
+        });
+    }
+    let n = usize::try_from(r.u64()?).map_err(|_| {
+        GraphError::Format("binary graph node count exceeds this platform's usize".into())
+    })?;
+    let m = usize::try_from(r.u64()?).map_err(|_| {
+        GraphError::Format("binary graph edge count exceeds this platform's usize".into())
+    })?;
+    let width = r.u32()? as usize;
+    if width > 16 {
+        return Err(GraphError::Format(format!(
+            "binary graph attribute width {width} exceeds 16"
+        )));
+    }
+    if n > u32::MAX as usize || m.checked_mul(2).is_none_or(|h| h > u32::MAX as usize) {
+        return Err(GraphError::Format(format!(
+            "binary graph dimensions n={n}, m={m} exceed the 32-bit CSR limits"
+        )));
+    }
+    let layout = BinaryLayout {
+        n,
+        m,
+        width,
+        total_len: HEADER_LEN
+            + 4 * (n + 1)
+            + 4 * 2 * m
+            + 4 * if width > 0 { n } else { 0 }
+            + CHECKSUM_LEN,
+    };
+    if bytes.len() < layout.total_len {
+        return Err(GraphError::TruncatedBinary {
+            expected: layout.total_len,
+            actual: bytes.len(),
+        });
+    }
+    if bytes.len() > layout.total_len {
+        return Err(GraphError::Format(format!(
+            "binary graph has {} trailing bytes after the checksum",
+            bytes.len() - layout.total_len
+        )));
+    }
+    Ok(layout)
+}
+
+/// Verifies the trailing FNV-1a 64 checksum of a layout-validated buffer
+/// (`bytes.len() == layout.total_len` must already hold).
+pub(crate) fn verify_checksum(bytes: &[u8]) -> Result<()> {
+    let Some(body_len) = bytes.len().checked_sub(CHECKSUM_LEN) else {
+        return Err(GraphError::TruncatedBinary {
+            expected: CHECKSUM_LEN,
+            actual: bytes.len(),
+        });
+    };
+    let (body, tail) = bytes.split_at(body_len);
+    let stored = u64::from_le_bytes(tail.try_into().map_err(|_| GraphError::TruncatedBinary {
+        expected: CHECKSUM_LEN,
+        actual: tail.len(),
+    })?);
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(GraphError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
 }
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
@@ -317,66 +436,27 @@ pub fn is_binary(bytes: &[u8]) -> bool {
 /// mismatch, and any structural CSR inconsistency a checksum-valid file
 /// might still encode.
 pub fn from_binary(bytes: &[u8]) -> Result<FrozenGraph> {
-    if bytes.len() < BINARY_MAGIC.len() || !is_binary(bytes) {
-        return Err(GraphError::BadMagic);
-    }
-    let mut r = ByteReader::new(bytes);
-    let _magic = r.take(4)?;
-    let version = r.u32()?;
-    if version != BINARY_VERSION {
-        return Err(GraphError::UnsupportedVersion {
-            found: version,
-            supported: BINARY_VERSION,
-        });
-    }
-    let n = usize::try_from(r.u64()?).map_err(|_| {
-        GraphError::Format("binary graph node count exceeds this platform's usize".into())
-    })?;
-    let m = usize::try_from(r.u64()?).map_err(|_| {
-        GraphError::Format("binary graph edge count exceeds this platform's usize".into())
-    })?;
-    let width = r.u32()? as usize;
-    if width > 16 {
-        return Err(GraphError::Format(format!(
-            "binary graph attribute width {width} exceeds 16"
-        )));
-    }
-    if n > u32::MAX as usize || m.checked_mul(2).is_none_or(|h| h > u32::MAX as usize) {
-        return Err(GraphError::Format(format!(
-            "binary graph dimensions n={n}, m={m} exceed the 32-bit CSR limits"
-        )));
-    }
-    let attr_words = if width > 0 { n } else { 0 };
-    let expected_len = HEADER_LEN + 4 * (n + 1) + 4 * 2 * m + 4 * attr_words + CHECKSUM_LEN;
-    if bytes.len() < expected_len {
-        return Err(GraphError::TruncatedBinary {
-            expected: expected_len,
-            actual: bytes.len(),
-        });
-    }
-    if bytes.len() > expected_len {
-        return Err(GraphError::Format(format!(
-            "binary graph has {} trailing bytes after the checksum",
-            bytes.len() - expected_len
-        )));
-    }
+    let layout = parse_layout(bytes)?;
     // Verify integrity before interpreting the payload.
-    let stored = u64::from_le_bytes(
-        bytes[expected_len - CHECKSUM_LEN..]
-            .try_into()
-            .expect("8 bytes"),
-    );
-    let computed = fnv1a64(&bytes[..expected_len - CHECKSUM_LEN]);
-    if stored != computed {
-        return Err(GraphError::ChecksumMismatch { stored, computed });
-    }
-    let offsets = r.u32_vec(n + 1)?;
-    let neighbors = r.u32_vec(2 * m)?;
-    let attributes = if width > 0 { r.u32_vec(n)? } else { vec![0; n] };
+    verify_checksum(bytes)?;
+    let mut r = ByteReader::new(bytes);
+    let _header = r.take(HEADER_LEN)?;
+    let offsets = r.u32_vec(layout.offset_words())?;
+    let neighbors = r.u32_vec(layout.neighbor_words())?;
+    let attributes = if layout.width > 0 {
+        r.u32_vec(layout.attr_words())?
+    } else {
+        vec![0; layout.n]
+    };
     // `from_csr` rejects offsets whose final entry disagrees with the
     // neighbor array, and exactly 2m neighbor words were read, so the
     // resulting edge count necessarily equals the header's m.
-    FrozenGraph::from_csr(AttributeSchema::new(width), offsets, neighbors, attributes)
+    FrozenGraph::from_csr(
+        AttributeSchema::new(layout.width),
+        offsets,
+        neighbors,
+        attributes,
+    )
 }
 
 /// Writes a graph to a file in the binary `.agb` format.

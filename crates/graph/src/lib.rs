@@ -26,6 +26,9 @@
 //! * Induced subgraphs and random node partitions used by the
 //!   sample-and-aggregate mechanism ([`subgraph`]).
 //! * A plain-text interchange format for attributed graphs ([`io`]).
+//! * Zero-copy loading of binary `.agb` graphs ([`mmap`]): a memory-mapped
+//!   file whose CSR payload is viewed in place through [`FrozenView`] /
+//!   [`MappedGraph`] instead of being deserialised into owned vectors.
 //!
 //! The crate is deterministic: it contains no randomness of its own (random
 //! partitioning takes a caller-provided shuffled order), so all DP guarantees
@@ -53,7 +56,11 @@
 //! assert_eq!(agmdp_graph::triangles::count_triangles(&g), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`mmap`] module is the one sanctioned
+// exception (raw `mmap`/`munmap` bindings and the byte→word reinterpretation
+// of the zero-copy load path — the container has no libc or bytemuck crate),
+// and `forbid` would reject even its scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attributes;
@@ -66,6 +73,8 @@ pub mod error;
 pub mod frozen;
 pub mod graph;
 pub mod io;
+#[allow(unsafe_code)]
+pub mod mmap;
 pub mod subgraph;
 pub mod triangles;
 pub mod truncation;
@@ -76,6 +85,7 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use frozen::FrozenGraph;
 pub use graph::{AttributedGraph, Edge, NodeId};
+pub use mmap::{FrozenView, MappedGraph};
 pub use view::GraphView;
 
 /// Convenient result alias used across the crate.

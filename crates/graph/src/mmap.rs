@@ -1,0 +1,856 @@
+//! Zero-copy loading of binary `.agb` graphs.
+//!
+//! The `.agb` payload (see [`crate::io`]) *is* the CSR arrays of a
+//! [`FrozenGraph`] in little-endian byte order. Deserialising it
+//! ([`crate::io::from_binary`]) copies every word into owned vectors —
+//! ~100 ms and a full resident copy for a million-node graph, per process.
+//! This module instead memory-maps the file and views the CSR sections in
+//! place:
+//!
+//! * [`Mapping`] is the unsafe island (mirroring `agmdp-service`'s `sys`
+//!   module): raw `mmap`/`munmap` bindings on unix — the container has no
+//!   libc crate — and a read-to-aligned-heap fallback elsewhere. Every
+//!   `unsafe` block carries a SAFETY comment; nothing else in the crate may
+//!   use `unsafe` (`#![deny(unsafe_code)]` with a scoped allow here).
+//! * [`FrozenView`] is a borrowed CSR graph — `&[u32]` slices pointing
+//!   straight into the mapped bytes — implementing [`GraphView`] so every
+//!   analysis function accepts it interchangeably with the owned
+//!   representations.
+//! * [`MappedGraph`] owns a mapping plus the header scalars and hands out
+//!   fresh [`FrozenView`]s; it is the `Send + Sync` value a dataset registry
+//!   can hold.
+//!
+//! Loading is O(header + offsets scan) instead of O(file): registering a
+//! million-node dataset costs microseconds-to-milliseconds, and N processes
+//! mapping the same file share one page-cache copy of the CSR arrays.
+//!
+//! ## Validation tiers
+//!
+//! [`MappedGraph::open`] performs the *full* validation stack — layout,
+//! alignment, checksum, and every structural CSR invariant — and therefore
+//! accepts and rejects exactly the same files as the owned deserialiser
+//! (shared helpers in [`crate::io`] / [`crate::frozen`] enforce this).
+//! [`MappedGraph::open_trusted`] validates the layout and runs an O(n)
+//! offsets sanity scan but skips the checksum and the per-list/symmetry
+//! checks; it is for artifacts the caller itself wrote moments or restarts
+//! ago (e.g. a service's release store). A violated trust contract can
+//! produce wrong analysis results or a panic, but never memory unsafety:
+//! every access goes through bounds-checked slices.
+//!
+//! ## Byte order and alignment
+//!
+//! The in-place view reinterprets `&[u8]` as `&[u32]`, which is only the
+//! file's semantics on little-endian hosts; big-endian builds transparently
+//! fall back to owned deserialisation. The header is 28 bytes, so all three
+//! word sections are 4-byte aligned whenever the buffer base is — true for
+//! any page-aligned mapping and for the 8-byte-aligned heap fallback.
+//! Misaligned borrowed buffers are rejected with
+//! [`GraphError::MisalignedBinary`].
+//!
+//! A mapped file must not be truncated or rewritten in place while mapped
+//! (the OS would deliver `SIGBUS`); writers must publish `.agb` artifacts
+//! atomically (write to a temporary file, then rename), which is how the
+//! service's release store behaves.
+
+use std::path::Path;
+
+use crate::attributes::AttributeSchema;
+use crate::error::GraphError;
+use crate::frozen::{validate_attribute_codes, validate_csr_structure, FrozenGraph};
+use crate::graph::NodeId;
+use crate::io;
+use crate::view::GraphView;
+use crate::Result;
+
+/// A read-only byte buffer backed by `mmap` (unix) or an aligned heap copy
+/// (elsewhere). The buffer base is always at least 8-byte aligned.
+#[cfg(all(unix, target_endian = "little"))]
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+mod unix_mmap {
+    //! Raw `mmap`/`munmap` bindings against the platform libc (the container
+    //! has no `libc` crate), in the same style as `agmdp-service`'s `sys`
+    //! module: the smallest possible surface, every unsafe block annotated.
+    use core::ffi::c_void;
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+    use std::path::Path;
+
+    use super::Mapping;
+    use crate::error::GraphError;
+    use crate::Result;
+
+    const PROT_READ: i32 = 0x1;
+    const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    fn map_failed() -> *mut c_void {
+        // MAP_FAILED is ((void *) -1).
+        usize::MAX as *mut c_void
+    }
+
+    impl Mapping {
+        /// Maps `path` read-only in its entirety.
+        ///
+        /// Empty files are rejected up front (`mmap` of length 0 is
+        /// `EINVAL`, and no valid `.agb` is shorter than its header) with
+        /// the same [`GraphError::BadMagic`] the byte parser reports.
+        pub(crate) fn open(path: &Path) -> Result<Self> {
+            let file = File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+                GraphError::Format("graph file exceeds this platform's address space".into())
+            })?;
+            if len == 0 {
+                return Err(GraphError::BadMagic);
+            }
+            // SAFETY: plain FFI call. A PROT_READ + MAP_PRIVATE mapping of a
+            // file we own a handle to has no preconditions beyond a valid
+            // fd, which `file` guarantees; the result is checked below.
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == map_failed() || ptr.is_null() {
+                return Err(GraphError::Io(format!(
+                    "mmap of {} failed: {}",
+                    path.display(),
+                    std::io::Error::last_os_error()
+                )));
+            }
+            // Closing `file` on return is fine: POSIX keeps the mapping
+            // alive independently of the descriptor.
+            Ok(Self {
+                ptr: ptr.cast::<u8>().cast_const(),
+                len,
+            })
+        }
+
+        /// The mapped bytes.
+        pub(crate) fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is the non-null base of a live PROT_READ mapping
+            // of exactly `len` bytes (established in `open`, released only
+            // in `drop`), and u8 has no alignment or validity requirements.
+            unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+        }
+
+        /// Length of the mapping in bytes.
+        pub(crate) fn len(&self) -> usize {
+            self.len
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe exactly the region `mmap`
+            // returned in `open`, unmapped exactly once (Drop). Failure is
+            // ignored: there is no recovery from a bad munmap and the
+            // process will release the region at exit anyway.
+            unsafe {
+                munmap(self.ptr.cast_mut().cast(), self.len);
+            }
+        }
+    }
+
+    // SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime,
+    // so shared references from any thread observe frozen bytes; the raw
+    // pointer is owned uniquely by this struct.
+    unsafe impl Send for Mapping {}
+    // SAFETY: as above — concurrent reads of an immutable mapping are safe.
+    unsafe impl Sync for Mapping {}
+}
+
+/// A read-only byte buffer backed by `mmap` (unix) or an aligned heap copy
+/// (elsewhere). The buffer base is always at least 8-byte aligned.
+#[cfg(all(not(unix), target_endian = "little"))]
+pub struct Mapping {
+    /// `u64` storage guarantees 8-byte alignment for the `&[u32]` views.
+    words: Vec<u64>,
+    len: usize,
+}
+
+#[cfg(all(not(unix), target_endian = "little"))]
+mod heap_fallback {
+    use std::path::Path;
+
+    use super::Mapping;
+    use crate::error::GraphError;
+    use crate::Result;
+
+    impl Mapping {
+        /// Reads `path` into 8-byte-aligned heap storage — the portable
+        /// stand-in for a real memory mapping.
+        pub(crate) fn open(path: &Path) -> Result<Self> {
+            let bytes = std::fs::read(path)?;
+            if bytes.is_empty() {
+                return Err(GraphError::BadMagic);
+            }
+            let len = bytes.len();
+            let mut words = vec![0u64; len.div_ceil(8)];
+            for (word, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+                let mut buf = [0u8; 8];
+                for (dst, src) in buf.iter_mut().zip(chunk) {
+                    *dst = *src;
+                }
+                // On the little-endian targets this module compiles for,
+                // `from_le_bytes` + viewing the words as bytes reproduces
+                // the file bytes exactly.
+                *word = u64::from_le_bytes(buf);
+            }
+            Ok(Self { words, len })
+        }
+
+        /// The buffered bytes.
+        pub(crate) fn bytes(&self) -> &[u8] {
+            // SAFETY: the allocation holds `words.len() * 8 >= len` bytes,
+            // the base pointer is valid and 8-byte aligned for the whole
+            // borrow, and u8 has no validity requirements.
+            unsafe { core::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+        }
+
+        /// Length of the buffer in bytes.
+        pub(crate) fn len(&self) -> usize {
+            self.len
+        }
+    }
+}
+
+#[cfg(target_endian = "little")]
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len()).finish()
+    }
+}
+
+/// Reinterprets little-endian file bytes as a `u32` word slice in place.
+///
+/// Rejects misaligned bases ([`GraphError::MisalignedBinary`]) and byte
+/// lengths that are not a whole number of words.
+#[cfg(target_endian = "little")]
+fn le_words(bytes: &[u8]) -> Result<&[u32]> {
+    let offset = bytes.as_ptr() as usize % 4;
+    if offset != 0 {
+        return Err(GraphError::MisalignedBinary { offset });
+    }
+    if bytes.len() % 4 != 0 {
+        return Err(GraphError::Format(format!(
+            "binary graph payload of {} bytes is not a whole number of 32-bit words",
+            bytes.len()
+        )));
+    }
+    // SAFETY: the base is 4-byte aligned and the length a multiple of 4
+    // (checked above), the source slice outlives the return value (same
+    // lifetime), and every bit pattern is a valid u32. On the little-endian
+    // targets this function compiles for, the words read back exactly the
+    // values `to_binary` wrote.
+    #[allow(unsafe_code)]
+    Ok(unsafe { core::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) })
+}
+
+/// Carves the validated byte image into its three CSR word sections
+/// `(offsets, neighbors, attributes)`. `layout` must describe `bytes`
+/// exactly (as produced by [`io::parse_layout`]).
+#[cfg(target_endian = "little")]
+fn sections(bytes: &[u8], layout: io::BinaryLayout) -> Result<(&[u32], &[u32], &[u32])> {
+    let body_end = layout.total_len.saturating_sub(io::CHECKSUM_LEN);
+    let body = bytes
+        .get(io::HEADER_LEN..body_end)
+        .ok_or(GraphError::TruncatedBinary {
+            expected: layout.total_len,
+            actual: bytes.len(),
+        })?;
+    let words = le_words(body)?;
+    let truncated =
+        |expected: usize, actual: usize| GraphError::TruncatedBinary { expected, actual };
+    let (offsets, rest) = words
+        .split_at_checked(layout.offset_words())
+        .ok_or_else(|| truncated(layout.offset_words(), words.len()))?;
+    let (neighbors, rest) = rest
+        .split_at_checked(layout.neighbor_words())
+        .ok_or_else(|| truncated(layout.neighbor_words(), rest.len()))?;
+    let (attributes, rest) = rest
+        .split_at_checked(layout.attr_words())
+        .ok_or_else(|| truncated(layout.attr_words(), rest.len()))?;
+    if !rest.is_empty() {
+        return Err(GraphError::Format(format!(
+            "binary graph payload has {} unexpected trailing words",
+            rest.len()
+        )));
+    }
+    Ok((offsets, neighbors, attributes))
+}
+
+/// A borrowed CSR graph: slices into an `.agb` byte image (or into an owned
+/// [`FrozenGraph`]), implementing [`GraphView`] without owning any array.
+///
+/// `Copy` — a view is three fat pointers and two scalars. Accessors return
+/// slices tied to the *underlying* buffer's lifetime `'a`, not to the view
+/// value itself, so views can be rebuilt per call by [`MappedGraph`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenView<'a> {
+    schema: AttributeSchema,
+    /// `n + 1` entries; `offsets[v]..offsets[v+1]` spans node `v`'s list.
+    offsets: &'a [u32],
+    /// `2m` concatenated sorted neighbor lists.
+    neighbors: &'a [NodeId],
+    /// `n` attribute codes, or empty when the width is 0.
+    attributes: &'a [u32],
+    num_edges: usize,
+}
+
+impl<'a> FrozenView<'a> {
+    /// Builds a fully validated view over an `.agb` byte image — the
+    /// zero-copy equivalent of [`io::from_binary`], accepting and rejecting
+    /// exactly the same buffers (shared layout, checksum and CSR
+    /// validators).
+    ///
+    /// `bytes` must be 4-byte aligned (any memory mapping or 4-aligned heap
+    /// buffer is); misaligned bases are rejected with
+    /// [`GraphError::MisalignedBinary`].
+    #[cfg(target_endian = "little")]
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
+        let layout = io::parse_layout(bytes)?;
+        // Verify integrity before interpreting the payload, mirroring
+        // `from_binary`.
+        io::verify_checksum(bytes)?;
+        let (offsets, neighbors, attributes) = sections(bytes, layout)?;
+        validate_csr_structure(offsets, neighbors)?;
+        let schema = AttributeSchema::new(layout.width);
+        if layout.width > 0 {
+            validate_attribute_codes(schema, attributes, layout.n)?;
+        }
+        Ok(Self {
+            schema,
+            offsets,
+            neighbors,
+            attributes,
+            num_edges: layout.m,
+        })
+    }
+
+    /// Builds a view over an `.agb` byte image written by a trusted
+    /// producer, skipping the checksum and the per-list/symmetry validation.
+    ///
+    /// What *is* still checked — the header layout, alignment, and an O(n)
+    /// offsets sanity scan (starts at 0, ends at `2m`, non-decreasing) —
+    /// guarantees every subsequent slice access is in bounds. A producer
+    /// that violates the trust contract (hands over structurally invalid
+    /// CSR content) gets wrong analysis results or a panic from a consumer,
+    /// never memory unsafety.
+    #[cfg(target_endian = "little")]
+    pub fn parse_trusted(bytes: &'a [u8]) -> Result<Self> {
+        let layout = io::parse_layout(bytes)?;
+        let (offsets, neighbors, attributes) = sections(bytes, layout)?;
+        let invalid = |msg: String| GraphError::Format(format!("invalid CSR graph: {msg}"));
+        if offsets.first().copied() != Some(0) {
+            return Err(invalid("offsets must start at 0".into()));
+        }
+        if offsets.last().map(|&o| o as usize) != Some(neighbors.len()) {
+            return Err(invalid(format!(
+                "final offset does not match {} neighbor entries",
+                neighbors.len()
+            )));
+        }
+        if offsets
+            .iter()
+            .zip(offsets.iter().skip(1))
+            .any(|(a, b)| b < a)
+        {
+            return Err(invalid("offsets must be non-decreasing".into()));
+        }
+        Ok(Self {
+            schema: AttributeSchema::new(layout.width),
+            offsets,
+            neighbors,
+            attributes,
+            num_edges: layout.m,
+        })
+    }
+
+    /// Builds a fully validated view from caller-provided CSR slices
+    /// (requirements as in [`FrozenGraph::from_csr`]; `attributes` needs
+    /// `n` codes valid under `schema`).
+    pub fn new(
+        schema: AttributeSchema,
+        offsets: &'a [u32],
+        neighbors: &'a [NodeId],
+        attributes: &'a [u32],
+    ) -> Result<Self> {
+        validate_csr_structure(offsets, neighbors)?;
+        validate_attribute_codes(schema, attributes, offsets.len().saturating_sub(1))?;
+        Ok(Self {
+            schema,
+            offsets,
+            neighbors,
+            attributes,
+            num_edges: neighbors.len() / 2,
+        })
+    }
+
+    /// A view borrowing an owned snapshot's arrays (always valid — the
+    /// snapshot already upholds every invariant).
+    #[must_use]
+    pub fn of_frozen(g: &'a FrozenGraph) -> Self {
+        let (offsets, neighbors, attributes) = g.csr_parts();
+        Self {
+            schema: g.schema(),
+            offsets,
+            neighbors,
+            attributes,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// The attribute schema of this graph.
+    #[must_use]
+    pub fn schema(&self) -> AttributeSchema {
+        self.schema
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges `m`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The sorted neighbor list of `v`, borrowed from the underlying buffer
+    /// (lifetime `'a`, not the view borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors_of(&self, v: NodeId) -> &'a [NodeId] {
+        let idx = v as usize;
+        assert!(
+            idx < self.num_nodes(),
+            "node id {v} out of range for graph with {} nodes",
+            self.num_nodes()
+        );
+        let start = self.offsets.get(idx).map_or(0, |&o| o as usize);
+        let end = self.offsets.get(idx + 1).map_or(start, |&o| o as usize);
+        self.neighbors.get(start..end).unwrap_or(&[])
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree_of(&self, v: NodeId) -> usize {
+        self.neighbors_of(v).len()
+    }
+
+    /// The attribute code of node `v` (0 for every node of a width-0
+    /// schema, whose byte image stores no attribute section).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn attribute_code_of(&self, v: NodeId) -> u32 {
+        let idx = v as usize;
+        assert!(
+            idx < self.num_nodes(),
+            "node id {v} out of range for graph with {} nodes",
+            self.num_nodes()
+        );
+        self.attributes.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The raw CSR slices `(offsets, neighbors, attributes)`; `attributes`
+    /// is empty for width-0 byte images.
+    #[must_use]
+    pub fn csr_slices(&self) -> (&'a [u32], &'a [NodeId], &'a [u32]) {
+        (self.offsets, self.neighbors, self.attributes)
+    }
+
+    /// Copies the view into an owned [`FrozenGraph`].
+    ///
+    /// No re-validation: the view's own invariants (full for [`parse`] /
+    /// [`new`], trust-contract for [`parse_trusted`]) carry over.
+    ///
+    /// [`parse`]: FrozenView::parse
+    /// [`new`]: FrozenView::new
+    /// [`parse_trusted`]: FrozenView::parse_trusted
+    #[must_use]
+    pub fn to_frozen(&self) -> FrozenGraph {
+        let attributes = if self.attributes.is_empty() {
+            vec![0; self.num_nodes()]
+        } else {
+            self.attributes.to_vec()
+        };
+        FrozenGraph::from_csr_unchecked(
+            self.schema,
+            self.offsets.to_vec(),
+            self.neighbors.to_vec(),
+            attributes,
+            self.num_edges,
+        )
+    }
+}
+
+impl GraphView for FrozenView<'_> {
+    fn num_nodes(&self) -> usize {
+        FrozenView::num_nodes(self)
+    }
+    fn num_edges(&self) -> usize {
+        FrozenView::num_edges(self)
+    }
+    fn schema(&self) -> AttributeSchema {
+        FrozenView::schema(self)
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.neighbors_of(v)
+    }
+    fn attribute_code(&self, v: NodeId) -> u32 {
+        self.attribute_code_of(v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        self.degree_of(v)
+    }
+}
+
+/// How a [`MappedGraph`] holds its graph.
+#[derive(Debug)]
+enum Repr {
+    /// Zero-copy: header scalars cached, CSR sections viewed in place in
+    /// the mapping on every access.
+    #[cfg(target_endian = "little")]
+    Mapped {
+        mapping: Mapping,
+        schema: AttributeSchema,
+        num_nodes: usize,
+        num_edges: usize,
+    },
+    /// Owned snapshot: big-endian hosts (the file format is little-endian)
+    /// and [`MappedGraph::from_frozen`].
+    Owned(Box<FrozenGraph>),
+}
+
+/// An `.agb` graph opened for zero-copy access: a [`Mapping`] plus cached
+/// header scalars, handing out [`FrozenView`]s on demand and implementing
+/// [`GraphView`] directly.
+///
+/// `Send + Sync` — the mapping is immutable — so a registry can share one
+/// across request threads behind an `Arc`.
+#[derive(Debug)]
+pub struct MappedGraph {
+    repr: Repr,
+}
+
+impl MappedGraph {
+    /// Opens `path` with the **full** validation stack (layout, alignment,
+    /// checksum, every structural CSR invariant) — the zero-copy equivalent
+    /// of [`io::read_binary_file`], accepting and rejecting exactly the
+    /// same files. Use for untrusted input paths.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_impl(path.as_ref(), Tier::Full)
+    }
+
+    /// Opens `path` with layout validation and an O(n) offsets sanity scan
+    /// only — microseconds-to-milliseconds for a million-node graph. For
+    /// artifacts the caller itself wrote (see the module docs' trust
+    /// contract).
+    pub fn open_trusted<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_impl(path.as_ref(), Tier::Trusted)
+    }
+
+    #[cfg(target_endian = "little")]
+    fn open_impl(path: &Path, tier: Tier) -> Result<Self> {
+        let mapping = Mapping::open(path)?;
+        let (schema, num_nodes, num_edges) = {
+            let view = match tier {
+                Tier::Full => FrozenView::parse(mapping.bytes())?,
+                Tier::Trusted => FrozenView::parse_trusted(mapping.bytes())?,
+            };
+            (view.schema(), view.num_nodes(), view.num_edges())
+        };
+        Ok(Self {
+            repr: Repr::Mapped {
+                mapping,
+                schema,
+                num_nodes,
+                num_edges,
+            },
+        })
+    }
+
+    #[cfg(not(target_endian = "little"))]
+    fn open_impl(path: &Path, _tier: Tier) -> Result<Self> {
+        // Big-endian host: the file's words need byte-swapping, so there is
+        // nothing to view in place — fall back to owned deserialisation
+        // (both tiers get the full validation stack).
+        Ok(Self::from_frozen(io::read_binary_file(path)?))
+    }
+
+    /// Wraps an owned snapshot in the `MappedGraph` interface (no file
+    /// involved; used by callers that keep one registry type for both
+    /// in-memory and mapped datasets).
+    #[must_use]
+    pub fn from_frozen(g: FrozenGraph) -> Self {
+        Self {
+            repr: Repr::Owned(Box::new(g)),
+        }
+    }
+
+    /// A borrowed CSR view of the graph (cheap: pointer arithmetic only).
+    #[must_use]
+    pub fn view(&self) -> FrozenView<'_> {
+        match &self.repr {
+            #[cfg(target_endian = "little")]
+            Repr::Mapped {
+                mapping,
+                schema,
+                num_nodes,
+                num_edges,
+            } => FrozenView::rebuild(*schema, *num_nodes, *num_edges, mapping.bytes()),
+            Repr::Owned(g) => FrozenView::of_frozen(g),
+        }
+    }
+
+    /// Size in bytes of the backing `.agb` image.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        match &self.repr {
+            #[cfg(target_endian = "little")]
+            Repr::Mapped { mapping, .. } => mapping.len(),
+            Repr::Owned(g) => {
+                let attr_words = if g.schema().width() > 0 {
+                    g.num_nodes()
+                } else {
+                    0
+                };
+                io::HEADER_LEN
+                    + 4 * (g.num_nodes() + 1)
+                    + 8 * g.num_edges()
+                    + 4 * attr_words
+                    + io::CHECKSUM_LEN
+            }
+        }
+    }
+
+    /// Whether this graph is served zero-copy from a mapping (`false` for
+    /// [`MappedGraph::from_frozen`] and on big-endian hosts).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            #[cfg(target_endian = "little")]
+            Repr::Mapped { .. } => true,
+            Repr::Owned(_) => false,
+        }
+    }
+
+    /// Copies the graph into an owned [`FrozenGraph`].
+    #[must_use]
+    pub fn to_frozen(&self) -> FrozenGraph {
+        match &self.repr {
+            #[cfg(target_endian = "little")]
+            Repr::Mapped { .. } => self.view().to_frozen(),
+            Repr::Owned(g) => g.as_ref().clone(),
+        }
+    }
+}
+
+/// Validation tier selector for [`MappedGraph::open_impl`].
+enum Tier {
+    Full,
+    Trusted,
+}
+
+#[cfg(target_endian = "little")]
+impl FrozenView<'_> {
+    /// Rebuilds a view from scalars cached at open time; `bytes` is the
+    /// exact image those scalars were validated against.
+    fn rebuild(schema: AttributeSchema, n: usize, m: usize, bytes: &[u8]) -> FrozenView<'_> {
+        let layout = io::BinaryLayout {
+            n,
+            m,
+            width: schema.width(),
+            total_len: bytes.len(),
+        };
+        match sections(bytes, layout) {
+            Ok((offsets, neighbors, attributes)) => FrozenView {
+                schema,
+                offsets,
+                neighbors,
+                attributes,
+                num_edges: m,
+            },
+            // Unreachable: `open` validated this exact byte image against
+            // these scalars. Degrade to an empty view rather than panic.
+            Err(_) => FrozenView {
+                schema,
+                offsets: &[],
+                neighbors: &[],
+                attributes: &[],
+                num_edges: 0,
+            },
+        }
+    }
+}
+
+impl GraphView for MappedGraph {
+    fn num_nodes(&self) -> usize {
+        self.view().num_nodes()
+    }
+    fn num_edges(&self) -> usize {
+        self.view().num_edges()
+    }
+    fn schema(&self) -> AttributeSchema {
+        self.view().schema()
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.view().neighbors_of(v)
+    }
+    fn attribute_code(&self, v: NodeId) -> u32 {
+        self.view().attribute_code_of(v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        self.view().degree_of(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AttributedGraph;
+
+    fn sample_graph() -> AttributedGraph {
+        let mut g = AttributedGraph::new(6, AttributeSchema::new(2));
+        g.set_all_attribute_codes(&[0, 1, 2, 3, 1, 0]).unwrap();
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (1, 4)] {
+            g.add_edge(u, v).unwrap();
+        }
+        g
+    }
+
+    fn temp_agb(name: &str, g: &AttributedGraph) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("agmdp_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        io::write_binary_file(g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_graph_matches_owned_deserialisation() {
+        let g = sample_graph();
+        let frozen = g.freeze();
+        let path = temp_agb("match_owned.agb", &g);
+        for mapped in [
+            MappedGraph::open(&path).unwrap(),
+            MappedGraph::open_trusted(&path).unwrap(),
+        ] {
+            assert_eq!(mapped.num_nodes(), frozen.num_nodes());
+            assert_eq!(mapped.num_edges(), frozen.num_edges());
+            assert_eq!(mapped.schema(), frozen.schema());
+            for v in frozen.nodes() {
+                assert_eq!(mapped.neighbors(v), frozen.neighbors(v));
+                assert_eq!(mapped.degree(v), frozen.degree(v));
+                assert_eq!(mapped.attribute_code(v), frozen.attribute_code(v));
+            }
+            assert_eq!(mapped.to_frozen(), frozen);
+            assert_eq!(io::to_text(&mapped), io::to_text(&frozen));
+            assert_eq!(
+                mapped.byte_len(),
+                std::fs::metadata(&path).unwrap().len() as usize
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_frozen_wrapper_matches() {
+        let frozen = sample_graph().freeze();
+        let wrapped = MappedGraph::from_frozen(frozen.clone());
+        assert!(!wrapped.is_mapped());
+        assert_eq!(wrapped.to_frozen(), frozen);
+        assert_eq!(io::to_binary(&wrapped).len(), wrapped.byte_len());
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = MappedGraph::open("/definitely/not/here.agb").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn open_empty_file_is_bad_magic() {
+        let dir = std::env::temp_dir().join(format!("agmdp_mmap_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.agb");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            MappedGraph::open(&path).unwrap_err(),
+            GraphError::BadMagic
+        ));
+        assert!(matches!(
+            MappedGraph::open_trusted(&path).unwrap_err(),
+            GraphError::BadMagic
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn misaligned_buffer_is_rejected() {
+        let bytes = io::to_binary(&sample_graph());
+        // Stage the image at an address that is ≡ 1 (mod 4) regardless of
+        // the allocator's choice of base.
+        let mut staged = vec![0u8; bytes.len() + 8];
+        let base = staged.as_ptr() as usize;
+        let shift = (1 + 4 - (base % 4)) % 4;
+        for (dst, src) in staged.iter_mut().skip(shift).zip(&bytes) {
+            *dst = *src;
+        }
+        let slice = &staged[shift..shift + bytes.len()];
+        assert_eq!(slice.as_ptr() as usize % 4, 1);
+        assert!(matches!(
+            FrozenView::parse(slice).unwrap_err(),
+            GraphError::MisalignedBinary { offset: 1 }
+        ));
+        assert!(matches!(
+            FrozenView::parse_trusted(slice).unwrap_err(),
+            GraphError::MisalignedBinary { offset: 1 }
+        ));
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn view_new_validates_like_from_csr() {
+        let frozen = sample_graph().freeze();
+        let (offsets, neighbors, attributes) = frozen.csr_parts();
+        let view = FrozenView::new(frozen.schema(), offsets, neighbors, attributes).unwrap();
+        assert_eq!(view.to_frozen(), frozen);
+        // Asymmetric edge rejected, as in `FrozenGraph::from_csr`.
+        assert!(FrozenView::new(AttributeSchema::new(0), &[0, 1, 1], &[1], &[0, 0]).is_err());
+    }
+}

@@ -28,7 +28,7 @@ use agmdp_core::workflow::{
     StructuralModelKind,
 };
 use agmdp_graph::triangles::count_triangles;
-use agmdp_graph::{io, AttributedGraph, FrozenGraph, GraphView};
+use agmdp_graph::{io, AttributedGraph, FrozenGraph, GraphView, MappedGraph};
 use agmdp_models::observe::{StageObserver, SynthesisStage};
 
 use agmdp_eval::{GraphProfile, UtilityReport};
@@ -37,7 +37,8 @@ use crate::cache::{FitCache, FitKey};
 use crate::error::ServiceError;
 use crate::evalstore::EvalStore;
 use crate::ledger::BudgetLedger;
-use crate::registry::{DatasetRegistry, DatasetSummary};
+use crate::registry::{Dataset, DatasetRegistry, DatasetSummary};
+use crate::store::ReleaseStore;
 use crate::telemetry::{StageTimer, Telemetry};
 
 /// Distinguishes the sampling RNG stream from the learning stream (both are
@@ -140,7 +141,7 @@ impl SynthesisRequest {
         }
     }
 
-    fn fit_key(&self) -> FitKey {
+    pub(crate) fn fit_key(&self) -> FitKey {
         FitKey::new(
             &self.dataset,
             Privacy::Dp {
@@ -252,6 +253,10 @@ pub struct SynthesisEngine {
     profiles: Mutex<BTreeMap<String, Arc<GraphProfile>>>,
     in_flight: Arc<InFlight>,
     telemetry: Arc<Telemetry>,
+    /// Content-addressed `.agb` release store, when configured. Completed
+    /// runs write their released graph here; [`SynthesisEngine::store_lookup`]
+    /// serves repeat requests from it without running a job or drawing ε.
+    store: Option<ReleaseStore>,
 }
 
 impl SynthesisEngine {
@@ -275,7 +280,20 @@ impl SynthesisEngine {
             profiles: Mutex::new(BTreeMap::new()),
             in_flight: Arc::new(InFlight::default()),
             telemetry,
+            store: None,
         }
+    }
+
+    /// Attaches a content-addressed release store. Configured once at
+    /// startup (before the engine is shared), hence `&mut self`.
+    pub fn set_release_store(&mut self, store: ReleaseStore) {
+        self.store = Some(store);
+    }
+
+    /// The configured release store, if any.
+    #[must_use]
+    pub fn release_store(&self) -> Option<&ReleaseStore> {
+        self.store.as_ref()
     }
 
     /// The engine's observability state (shared with the HTTP server, which
@@ -330,7 +348,28 @@ impl SynthesisEngine {
         graph: FrozenGraph,
         total_epsilon: f64,
     ) -> Result<DatasetSummary, ServiceError> {
-        if graph.num_nodes() == 0 || graph.num_edges() == 0 {
+        self.register_prepared(name, Dataset::Owned(graph), total_epsilon)
+    }
+
+    /// Registers a memory-mapped `.agb` dataset: the zero-copy path, whose
+    /// cost is independent of graph size (no CSR arrays are deserialised —
+    /// the registry serves borrowed views straight out of the mapping).
+    pub fn register_mapped_dataset(
+        &self,
+        name: &str,
+        graph: MappedGraph,
+        total_epsilon: f64,
+    ) -> Result<DatasetSummary, ServiceError> {
+        self.register_prepared(name, Dataset::Mapped(graph), total_epsilon)
+    }
+
+    fn register_prepared(
+        &self,
+        name: &str,
+        dataset: Dataset,
+        total_epsilon: f64,
+    ) -> Result<DatasetSummary, ServiceError> {
+        if dataset.num_nodes() == 0 || dataset.num_edges() == 0 {
             return Err(ServiceError::InvalidRequest(
                 "datasets must have at least one node and one edge".to_string(),
             ));
@@ -351,7 +390,7 @@ impl SynthesisEngine {
             }
         }
         let was_registered = self.registry.get(name).is_ok();
-        let arc = self.registry.register_frozen(name, graph)?;
+        let arc = self.registry.register_dataset(name, dataset)?;
         if let Err(e) = self.ledger.register(name, total_epsilon) {
             // Roll back a *newly* inserted graph (e.g. the journal append
             // failed) so the registry and ledger never disagree about which
@@ -366,6 +405,45 @@ impl SynthesisEngine {
             nodes: arc.num_nodes(),
             edges: arc.num_edges(),
             attribute_width: arc.schema().width(),
+            mapped: arc.is_mapped(),
+        })
+    }
+
+    /// Serves `request` from the release store, if a store is configured and
+    /// holds the key. A hit re-sends an already-released graph byte-for-byte
+    /// — ε-free post-processing — so **no job runs and nothing is drawn from
+    /// the ledger**; only requests the normal path would admit are eligible
+    /// (same parameter validation as [`SynthesisEngine::admit`]), so the
+    /// store can never launder an invalid request into a 202.
+    #[must_use]
+    pub fn store_lookup(&self, request: &SynthesisRequest) -> Option<SynthesisOutcome> {
+        let store = self.store.as_ref()?;
+        if !(request.epsilon.is_finite() && request.epsilon > 0.0)
+            || request.refinement_iterations == 0
+            || request.refinement_iterations > 64
+            || request.threads == 0
+            || request.threads > MAX_REQUEST_THREADS
+            || self.registry.get(&request.dataset).is_err()
+        {
+            return None;
+        }
+        let Some(release) = store.lookup(request) else {
+            self.telemetry.record_release_store(false, 0);
+            return None;
+        };
+        self.telemetry.record_release_store(true, release.bytes);
+        // The stored utility is folded into `GET /evaluate` exactly like a
+        // fit-cache replay of the same release would be.
+        self.evaluations.record(&request.dataset, &release.utility);
+        let graph_text = request.return_graph.then(|| io::to_text(&release.graph));
+        Some(SynthesisOutcome {
+            dataset: request.dataset.clone(),
+            epsilon: request.epsilon,
+            epsilon_spent: 0.0,
+            cache_hit: true,
+            stats: release.stats,
+            utility: release.utility,
+            graph_text,
         })
     }
 
@@ -581,12 +659,31 @@ impl SynthesisEngine {
         } else {
             None
         };
+        let stats = GraphStats::of(&frozen);
+        // Publish the release into the store (when configured) so identical
+        // future requests skip the job entirely. Best-effort: a full disk
+        // must not fail a synthesis that already succeeded, so the error is
+        // traced and dropped — the next identical request just re-runs.
+        if let Some(store) = &self.store {
+            timer.stage_start(SynthesisStage::Serialize);
+            let artifact = io::to_binary(&frozen);
+            let result = store.insert(request, &artifact, &stats, &utility);
+            timer.stage_end(SynthesisStage::Serialize);
+            if let Err(e) = result {
+                self.telemetry
+                    .sink()
+                    .event("store_write_failed")
+                    .str("dataset", &request.dataset)
+                    .str("error", &e.to_string())
+                    .emit();
+            }
+        }
         Ok(SynthesisOutcome {
             dataset: request.dataset.clone(),
             epsilon: request.epsilon,
             epsilon_spent: admission.epsilon_spent,
             cache_hit,
-            stats: GraphStats::of(&frozen),
+            stats,
             utility,
             graph_text,
         })

@@ -23,6 +23,8 @@ pub enum ServiceError {
     InvalidRequest(String),
     /// The persistent ledger journal could not be read or written.
     Ledger(String),
+    /// The content-addressed release store could not be written.
+    Store(String),
     /// The underlying AGM-DP pipeline failed.
     Synthesis(String),
 }
@@ -36,7 +38,7 @@ impl ServiceError {
             ServiceError::UnknownDataset(_) => 404,
             ServiceError::DatasetConflict(_) => 409,
             ServiceError::InvalidRequest(_) => 400,
-            ServiceError::Ledger(_) | ServiceError::Synthesis(_) => 500,
+            ServiceError::Ledger(_) | ServiceError::Store(_) | ServiceError::Synthesis(_) => 500,
         }
     }
 
@@ -49,6 +51,7 @@ impl ServiceError {
             ServiceError::DatasetConflict(_) => "dataset_conflict",
             ServiceError::InvalidRequest(_) => "invalid_request",
             ServiceError::Ledger(_) => "ledger_error",
+            ServiceError::Store(_) => "store_error",
             ServiceError::Synthesis(_) => "synthesis_error",
         }
     }
@@ -70,6 +73,7 @@ impl fmt::Display for ServiceError {
             ServiceError::DatasetConflict(msg) => write!(f, "dataset conflict: {msg}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Ledger(msg) => write!(f, "ledger error: {msg}"),
+            ServiceError::Store(msg) => write!(f, "release store error: {msg}"),
             ServiceError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
         }
     }

@@ -15,6 +15,12 @@
 //!   ε-spending step; re-sampling from already-released parameters is pure
 //!   post-processing and costs no ε. Repeat requests hit the cache, skip the
 //!   DP learning entirely and leave the ledger untouched.
+//! * **Release store** ([`store`]) — the on-disk counterpart of the cache:
+//!   every completed job writes its released graph as a content-addressed
+//!   `.agb` artifact, and a repeat `/synthesize` for the same key is served
+//!   straight from the store — no job runs, no ε is drawn — surviving
+//!   restarts and re-sending the release byte-for-byte (zero-copy via the
+//!   mmap load path).
 //! * **Utility store** ([`evalstore`]) — every completed job's release is
 //!   compared against its original (`agmdp_eval::UtilityReport`, ε-free
 //!   post-processing) and aggregated per dataset, so `GET /evaluate` reports
@@ -79,6 +85,7 @@ pub mod ratelimit;
 pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod store;
 #[allow(unsafe_code)]
 pub mod sys;
 pub mod telemetry;
@@ -87,4 +94,5 @@ pub use engine::{SynthesisEngine, SynthesisOutcome, SynthesisRequest};
 pub use error::ServiceError;
 pub use ledger::{BudgetLedger, BudgetStatus};
 pub use server::{start, ServerHandle, ServiceConfig, Transport};
+pub use store::{ReleaseStore, StoredRelease};
 pub use telemetry::{StageTimer, Telemetry};

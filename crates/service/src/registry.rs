@@ -1,17 +1,23 @@
 //! The in-memory dataset registry.
 //!
-//! Maps dataset names to **frozen** graphs: a dataset is registered once and
-//! then only ever read (parameter fits, metric profiles, `GET /evaluate`),
-//! which is exactly the [`FrozenGraph`] CSR snapshot's contract. Snapshots
-//! are held behind `Arc` so synthesis jobs can read them concurrently
-//! without cloning; the registry itself is never persisted (re-register
-//! after a restart — the *budget* is what must survive, and that lives in
-//! the ledger).
+//! Maps dataset names to **read-only** graphs: a dataset is registered once
+//! and then only ever read (parameter fits, metric profiles,
+//! `GET /evaluate`). A [`Dataset`] is either an owned [`FrozenGraph`] CSR
+//! snapshot (text registration, in-process embedding) or a zero-copy
+//! [`MappedGraph`] whose CSR arrays live in a memory-mapped `.agb` file
+//! (path registration of binary files — microseconds to register, one
+//! page-cache copy shared across processes). Both implement [`GraphView`],
+//! so every consumer is representation-blind. Datasets are held behind
+//! `Arc` so synthesis jobs can read them concurrently without cloning; the
+//! registry itself is never persisted (re-register after a restart — the
+//! *budget* is what must survive, and that lives in the ledger).
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use agmdp_graph::{AttributedGraph, FrozenGraph};
+use agmdp_graph::{
+    AttributeSchema, AttributedGraph, FrozenGraph, FrozenView, GraphView, MappedGraph, NodeId,
+};
 
 use crate::error::{validate_dataset_name, ServiceError};
 
@@ -26,12 +32,108 @@ pub struct DatasetSummary {
     pub edges: usize,
     /// Attribute width w.
     pub attribute_width: usize,
+    /// `true` when the dataset is served zero-copy from a memory-mapped
+    /// `.agb` file rather than owned heap arrays.
+    pub mapped: bool,
+}
+
+/// One registered read-only graph, in either representation.
+#[derive(Debug)]
+pub enum Dataset {
+    /// Owned CSR snapshot (text registration, embedded engines).
+    Owned(FrozenGraph),
+    /// Zero-copy view of a memory-mapped `.agb` file.
+    Mapped(MappedGraph),
+}
+
+impl Dataset {
+    /// A borrowed CSR view, whichever representation backs the dataset.
+    #[must_use]
+    pub fn view(&self) -> FrozenView<'_> {
+        match self {
+            Dataset::Owned(g) => FrozenView::of_frozen(g),
+            Dataset::Mapped(m) => m.view(),
+        }
+    }
+
+    /// Whether the dataset is served from a memory mapping.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Dataset::Mapped(m) if m.is_mapped())
+    }
+
+    /// Copies the dataset into an owned snapshot (cheap clone for the owned
+    /// representation would still copy; callers on hot paths should use
+    /// [`Dataset::view`] instead).
+    #[must_use]
+    pub fn to_frozen(&self) -> FrozenGraph {
+        match self {
+            Dataset::Owned(g) => g.clone(),
+            Dataset::Mapped(m) => m.to_frozen(),
+        }
+    }
+
+    /// Reconstructs a mutable [`AttributedGraph`] equal to the registered
+    /// graph (used by the parameter-learning path, which consumes the
+    /// insertion-ordered representation).
+    #[must_use]
+    pub fn thaw(&self) -> AttributedGraph {
+        match self {
+            Dataset::Owned(g) => g.thaw(),
+            Dataset::Mapped(m) => m.to_frozen().thaw(),
+        }
+    }
+
+    /// Logical content equality across representations: same schema and
+    /// identical CSR arrays (a width-0 mapped file stores no attribute
+    /// section; its implicit all-zero codes compare equal to an owned
+    /// snapshot's explicit zeros).
+    #[must_use]
+    pub fn content_eq(&self, other: &Dataset) -> bool {
+        let a = self.view();
+        let b = other.view();
+        if a.schema() != b.schema() {
+            return false;
+        }
+        let (a_off, a_nbr, _) = a.csr_slices();
+        let (b_off, b_nbr, _) = b.csr_slices();
+        if a_off != b_off || a_nbr != b_nbr {
+            return false;
+        }
+        a.schema().width() == 0
+            || (0..a.num_nodes() as NodeId)
+                .all(|v| a.attribute_code_of(v) == b.attribute_code_of(v))
+    }
+}
+
+impl GraphView for Dataset {
+    fn num_nodes(&self) -> usize {
+        self.view().num_nodes()
+    }
+    fn num_edges(&self) -> usize {
+        self.view().num_edges()
+    }
+    fn schema(&self) -> AttributeSchema {
+        self.view().schema()
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self {
+            Dataset::Owned(g) => g.neighbors(v),
+            Dataset::Mapped(m) => m.view().neighbors_of(v),
+        }
+    }
+    fn attribute_code(&self, v: NodeId) -> u32 {
+        self.view().attribute_code_of(v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        self.view().degree_of(v)
+    }
 }
 
 /// A thread-safe name → graph map.
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
-    graphs: Mutex<BTreeMap<String, Arc<FrozenGraph>>>,
+    graphs: Mutex<BTreeMap<String, Arc<Dataset>>>,
 }
 
 impl DatasetRegistry {
@@ -50,29 +152,46 @@ impl DatasetRegistry {
         &self,
         name: &str,
         graph: AttributedGraph,
-    ) -> Result<Arc<FrozenGraph>, ServiceError> {
+    ) -> Result<Arc<Dataset>, ServiceError> {
         self.register_frozen(name, graph.freeze())
     }
 
-    /// Registers an already-frozen snapshot under `name` (the binary-file
-    /// registration path deserialises straight into CSR form, so no thaw /
-    /// re-freeze round-trip is paid).
+    /// Registers an already-frozen snapshot under `name` (the text /
+    /// in-process registration path).
     pub fn register_frozen(
         &self,
         name: &str,
         graph: FrozenGraph,
-    ) -> Result<Arc<FrozenGraph>, ServiceError> {
+    ) -> Result<Arc<Dataset>, ServiceError> {
+        self.register_dataset(name, Dataset::Owned(graph))
+    }
+
+    /// Registers a zero-copy mapped `.agb` graph under `name` (the binary
+    /// path registration — no deserialisation is paid at all).
+    pub fn register_mapped(
+        &self,
+        name: &str,
+        graph: MappedGraph,
+    ) -> Result<Arc<Dataset>, ServiceError> {
+        self.register_dataset(name, Dataset::Mapped(graph))
+    }
+
+    pub(crate) fn register_dataset(
+        &self,
+        name: &str,
+        dataset: Dataset,
+    ) -> Result<Arc<Dataset>, ServiceError> {
         validate_dataset_name(name)?;
         let mut graphs = self.graphs.lock().expect("registry lock poisoned");
         if let Some(existing) = graphs.get(name) {
-            if **existing == graph {
+            if existing.content_eq(&dataset) {
                 return Ok(Arc::clone(existing));
             }
             return Err(ServiceError::DatasetConflict(format!(
                 "'{name}' is already registered with different data"
             )));
         }
-        let arc = Arc::new(graph);
+        let arc = Arc::new(dataset);
         graphs.insert(name.to_string(), Arc::clone(&arc));
         Ok(arc)
     }
@@ -85,8 +204,8 @@ impl DatasetRegistry {
             .remove(name);
     }
 
-    /// Looks up a dataset's frozen snapshot.
-    pub fn get(&self, name: &str) -> Result<Arc<FrozenGraph>, ServiceError> {
+    /// Looks up a dataset.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServiceError> {
         self.graphs
             .lock()
             .expect("registry lock poisoned")
@@ -107,6 +226,7 @@ impl DatasetRegistry {
                 nodes: g.num_nodes(),
                 edges: g.num_edges(),
                 attribute_width: g.schema().width(),
+                mapped: g.is_mapped(),
             })
             .collect()
     }
@@ -122,7 +242,7 @@ mod tests {
         let reg = DatasetRegistry::new();
         let g = toy_social_graph();
         reg.register("toy", g.clone()).unwrap();
-        assert_eq!(*reg.get("toy").unwrap(), g.freeze());
+        assert_eq!(reg.get("toy").unwrap().to_frozen(), g.freeze());
         assert_eq!(reg.get("toy").unwrap().thaw(), g);
         assert!(matches!(
             reg.get("other"),
@@ -133,6 +253,7 @@ mod tests {
         assert_eq!(summaries[0].name, "toy");
         assert_eq!(summaries[0].nodes, g.num_nodes());
         assert_eq!(summaries[0].edges, g.num_edges());
+        assert!(!summaries[0].mapped);
     }
 
     #[test]
@@ -147,5 +268,33 @@ mod tests {
             Err(ServiceError::DatasetConflict(_))
         ));
         assert!(reg.register("bad name", g).is_err());
+    }
+
+    #[test]
+    fn mapped_registration_is_interchangeable_with_owned() {
+        let dir = std::env::temp_dir().join(format!("agmdp_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.agb");
+        let g = toy_social_graph();
+        agmdp_graph::io::write_binary_file(&g, &path).unwrap();
+
+        let reg = DatasetRegistry::new();
+        let mapped = MappedGraph::open(&path).unwrap();
+        reg.register_mapped("toy", mapped).unwrap();
+        // Re-registering the same content — in either representation — is
+        // idempotent; different content conflicts.
+        reg.register("toy", g.clone()).unwrap();
+        reg.register_mapped("toy", MappedGraph::open(&path).unwrap())
+            .unwrap();
+        assert!(reg
+            .register("toy", AttributedGraph::unattributed(2))
+            .is_err());
+
+        let ds = reg.get("toy").unwrap();
+        assert_eq!(ds.to_frozen(), g.freeze());
+        assert_eq!(ds.thaw(), g);
+        let summaries = reg.summaries();
+        assert_eq!(summaries[0].mapped, cfg!(target_endian = "little"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -38,7 +38,7 @@ use serde::{Serialize, Value};
 
 use agmdp_core::correlations_dp::CorrelationMethod;
 use agmdp_core::workflow::StructuralModelKind;
-use agmdp_graph::{io, GraphError};
+use agmdp_graph::{io, GraphError, MappedGraph};
 use agmdp_obs::TraceSink;
 
 use crate::conn::ConnTimeouts;
@@ -50,6 +50,7 @@ use crate::json;
 use crate::ledger::BudgetLedger;
 use crate::ratelimit::TokenBuckets;
 use crate::reactor::{Completions, HttpJob, Reactor, ReactorConfig, Waker};
+use crate::store::ReleaseStore;
 use crate::telemetry::{FrontendStats, Telemetry};
 
 /// Concurrent synthesis jobs allowed per HTTP worker thread. Admission is
@@ -111,6 +112,12 @@ pub struct ServiceConfig {
     /// Enables `GET /__debug/sleep/:ms` and `GET /__debug/payload/:bytes`
     /// (fault-injection only; never enable in production).
     pub debug_endpoints: bool,
+    /// Directory of the content-addressed `.agb` release store
+    /// (`--release-store`). When set, every completed job writes its
+    /// released graph there and repeat `/synthesize` requests for an
+    /// existing key are served from disk — no job, no ε — across restarts.
+    /// `None` disables the store.
+    pub release_store: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -132,6 +139,7 @@ impl Default for ServiceConfig {
             keepalive_max_requests: 10_000,
             send_buffer_bytes: None,
             debug_endpoints: false,
+            release_store: None,
         }
     }
 }
@@ -239,8 +247,15 @@ pub fn start(config: &ServiceConfig) -> Result<ServerHandle, ServiceError> {
 /// [`start`] with a pre-built engine (tests pre-register datasets this way).
 pub fn start_with_engine(
     config: &ServiceConfig,
-    engine: SynthesisEngine,
+    mut engine: SynthesisEngine,
 ) -> Result<ServerHandle, ServiceError> {
+    // Attach the release store unless the pre-built engine already carries
+    // one (tests that inject a store keep theirs).
+    if let Some(dir) = &config.release_store {
+        if engine.release_store().is_none() {
+            engine.set_release_store(ReleaseStore::open(dir.clone())?);
+        }
+    }
     if config.threads == 0 || config.threads > 1024 {
         return Err(ServiceError::InvalidRequest(
             "threads must be in 1..=1024".to_string(),
@@ -645,6 +660,7 @@ fn handle_list_datasets(engine: &Arc<SynthesisEngine>) -> Response {
                     "attribute_width",
                     Value::UInt(summary.attribute_width as u64),
                 ),
+                ("mapped", Value::Bool(summary.mapped)),
             ];
             if let Some(status) = budgets.get(&summary.name) {
                 entries.push(("budget", budget_value(*status)));
@@ -666,39 +682,53 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
     let Some(budget) = json::get(&parsed, "budget").and_then(json::as_f64) else {
         return error_body(400, "invalid_request", "'budget' (number) is required");
     };
-    let graph = match (
+    // A server-side file loads in either interchange format, auto-detected
+    // from the leading bytes: binary `.agb` files are **memory-mapped** (the
+    // full-validation tier — checksum and structure — since the path may
+    // point anywhere the operator can read) so registration cost is
+    // independent of graph size; text files parse as before.
+    enum Loaded {
+        Owned(agmdp_graph::FrozenGraph),
+        Mapped(MappedGraph),
+    }
+    let loaded = match (
         json::get(&parsed, "graph").and_then(json::as_str),
         json::get(&parsed, "path").and_then(json::as_str),
     ) {
         (Some(text), None) => match io::from_text(text) {
-            Ok(g) => g.freeze(),
+            Ok(g) => Loaded::Owned(g.freeze()),
             Err(e) => return error_body(400, "invalid_request", &format!("bad graph: {e}")),
         },
-        // Server-side files load in either interchange format (text or
-        // binary `.agb`), auto-detected from the leading bytes; binary files
-        // deserialise straight into the registry's frozen CSR form.
-        (None, Some(path)) => match io::load_frozen_file(path) {
-            Ok(g) => g,
-            // Parse errors quote tokens of the file; for server-side paths
-            // that would let a remote client probe arbitrary readable files,
-            // so only I/O errors (no content) are echoed. Every other
-            // malformation — text parse, binary-format and structural CSR
-            // errors alike — collapses into one uniform message.
-            Err(GraphError::Io(e)) => {
-                return error_body(
-                    400,
-                    "invalid_request",
-                    &format!("cannot load {path}: i/o error: {e}"),
-                )
+        (None, Some(path)) => {
+            let result = if file_has_binary_magic(path) {
+                MappedGraph::open(path).map(Loaded::Mapped)
+            } else {
+                io::load_frozen_file(path).map(Loaded::Owned)
+            };
+            match result {
+                Ok(loaded) => loaded,
+                // Parse errors quote tokens of the file; for server-side
+                // paths that would let a remote client probe arbitrary
+                // readable files, so only I/O errors (no content) are
+                // echoed. Every other malformation — text parse,
+                // binary-format and structural CSR errors alike — collapses
+                // into one uniform message.
+                Err(GraphError::Io(e)) => {
+                    return error_body(
+                        400,
+                        "invalid_request",
+                        &format!("cannot load {path}: i/o error: {e}"),
+                    )
+                }
+                Err(_) => {
+                    return error_body(
+                        400,
+                        "invalid_request",
+                        &format!("'{path}' is not a valid graph file"),
+                    )
+                }
             }
-            Err(_) => {
-                return error_body(
-                    400,
-                    "invalid_request",
-                    &format!("'{path}' is not a valid graph file"),
-                )
-            }
-        },
+        }
         _ => {
             return error_body(
                 400,
@@ -707,7 +737,11 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
             )
         }
     };
-    match engine.register_frozen_dataset(name, graph, budget) {
+    let registered = match loaded {
+        Loaded::Owned(g) => engine.register_frozen_dataset(name, g, budget),
+        Loaded::Mapped(m) => engine.register_mapped_dataset(name, m, budget),
+    };
+    match registered {
         Ok(summary) => {
             let status = engine.ledger().status(name);
             let mut entries = vec![
@@ -718,6 +752,7 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
                     "attribute_width",
                     Value::UInt(summary.attribute_width as u64),
                 ),
+                ("mapped", Value::Bool(summary.mapped)),
             ];
             if let Some(status) = status {
                 entries.push(("budget", budget_value(status)));
@@ -726,6 +761,18 @@ fn handle_register_dataset(engine: &Arc<SynthesisEngine>, body: &[u8]) -> Respon
         }
         Err(e) => service_error(&e),
     }
+}
+
+/// Whether the file at `path` starts with the `.agb` magic. Best-effort: an
+/// unreadable file says "no" and falls through to the text loader, whose
+/// error reporting is the canonical one.
+fn file_has_binary_magic(path: &str) -> bool {
+    use std::io::Read;
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic).is_ok() && magic == io::BINARY_MAGIC
 }
 
 fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
@@ -748,6 +795,24 @@ fn handle_synthesize(state: &Arc<ServerState>, body: &[u8]) -> Response {
             )
             .with_retry_after(retry_after);
         }
+    }
+    // Release-store hit: the identical release already sits on disk, so it
+    // is re-served directly — no job slot, no fit, no ε (post-processing
+    // invariance). The job record is created pre-completed so the polling
+    // protocol is unchanged for clients.
+    if let Some(outcome) = state.engine.store_lookup(&request) {
+        let job_id = state.jobs.create();
+        let epsilon_spent = outcome.epsilon_spent;
+        state.jobs.set(job_id, JobState::Completed(outcome));
+        return ok_json(
+            202,
+            obj(vec![
+                ("job_id", Value::UInt(job_id)),
+                ("cache_hit", Value::Bool(true)),
+                ("store_hit", Value::Bool(true)),
+                ("epsilon_spent", Value::Float(epsilon_spent)),
+            ]),
+        );
     }
     // Acquire a job slot *before* admission: a refused request must not have
     // drawn ε, and the slot cap keeps a flood of (ε-free) cache hits from
@@ -945,6 +1010,23 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
             &[],
         )
         .set(engine.cache().len() as f64);
+    if let Some(store) = engine.release_store() {
+        let occupancy = store.stats();
+        metrics
+            .gauge(
+                "agmdp_release_store_size_bytes",
+                "Total bytes of .agb artifacts in the release store.",
+                &[],
+            )
+            .set(occupancy.bytes as f64);
+        metrics
+            .gauge(
+                "agmdp_release_store_releases",
+                "Committed releases in the store.",
+                &[],
+            )
+            .set(occupancy.releases as f64);
+    }
     metrics
         .gauge(
             "agmdp_open_connections",
@@ -1603,6 +1685,85 @@ mod tests {
             metrics.body
         );
         wait_for_job(&state, 1);
+    }
+
+    fn store_state(dir: &std::path::Path) -> Arc<ServerState> {
+        let mut engine = SynthesisEngine::new(BudgetLedger::in_memory());
+        engine.set_release_store(ReleaseStore::open(dir.to_path_buf()).unwrap());
+        engine
+            .register_dataset("toy", toy_social_graph(), 10.0)
+            .unwrap();
+        test_state_with(engine, 16)
+    }
+
+    #[test]
+    fn release_store_serves_repeat_requests_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("agmdp_srv_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let state = store_state(&dir);
+        let body = r#"{"dataset":"toy","epsilon":0.5,"seed":9,"return_graph":true}"#;
+
+        // Cold: runs a real job (one store miss) and writes the release.
+        let cold = post(&state, "/synthesize", body);
+        assert_eq!(cold.status, 202, "{}", cold.body);
+        assert!(cold.body.contains("\"cache_hit\":false"));
+        assert!(!cold.body.contains("store_hit"), "{}", cold.body);
+        let parsed = json::parse(&cold.body).unwrap();
+        let cold_id = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        let JobState::Completed(cold_outcome) = wait_for_job(&state, cold_id) else {
+            panic!("cold job failed");
+        };
+
+        // Repeat: served straight from the store. The job record is created
+        // already completed (no slot was taken, no thread spawned, no ε).
+        let hit = post(&state, "/synthesize", body);
+        assert_eq!(hit.status, 202, "{}", hit.body);
+        assert!(hit.body.contains("\"store_hit\":true"), "{}", hit.body);
+        assert!(hit.body.contains("\"cache_hit\":true"));
+        assert!(hit.body.contains("\"epsilon_spent\":0.0"));
+        let parsed = json::parse(&hit.body).unwrap();
+        let hit_id = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        let JobState::Completed(hit_outcome) = state.jobs.get(hit_id).unwrap() else {
+            panic!("store hit must complete synchronously");
+        };
+        // Pinned byte-identical to the cold release, at zero ε.
+        assert_eq!(hit_outcome.graph_text, cold_outcome.graph_text);
+        assert_eq!(hit_outcome.stats, cold_outcome.stats);
+        assert_eq!(hit_outcome.utility, cold_outcome.utility);
+        assert_eq!(hit_outcome.epsilon_spent, 0.0);
+        let spent = state.engine.ledger().status("toy").unwrap().spent;
+        assert!((spent - 0.5).abs() < 1e-12, "hit must not draw ε: {spent}");
+
+        let metrics = get(&state, "/metrics").body;
+        assert!(
+            metrics.contains("agmdp_release_store_hits_total 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("agmdp_release_store_misses_total 1"));
+        assert!(metrics.contains("agmdp_release_store_bytes_total"));
+        assert!(metrics.contains("agmdp_release_store_releases 1"));
+        assert!(metrics.contains("agmdp_release_store_size_bytes"));
+        // Only the cold request finished a job; the hit never ran one.
+        assert!(metrics.contains("agmdp_jobs_finished_total{outcome=\"completed\"} 1"));
+
+        // "Restart": a fresh engine over the same directory re-serves the
+        // identical release without ever running a job.
+        let state2 = store_state(&dir);
+        let hit2 = post(&state2, "/synthesize", body);
+        assert_eq!(hit2.status, 202, "{}", hit2.body);
+        assert!(hit2.body.contains("\"store_hit\":true"), "{}", hit2.body);
+        let parsed = json::parse(&hit2.body).unwrap();
+        let id2 = json::as_u64(json::get(&parsed, "job_id").unwrap()).unwrap();
+        let JobState::Completed(restart_outcome) = state2.jobs.get(id2).unwrap() else {
+            panic!("restart hit must complete synchronously");
+        };
+        assert_eq!(restart_outcome.graph_text, cold_outcome.graph_text);
+        assert_eq!(
+            state2.engine.ledger().status("toy").unwrap().spent,
+            0.0,
+            "a restarted server re-serves the release for free"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -163,6 +163,36 @@ impl Telemetry {
             .inc();
     }
 
+    /// Records a release-store lookup. A hit also accounts the artifact
+    /// bytes served straight from the store (the release is re-sent
+    /// byte-for-byte at zero \u{3b5} — post-processing invariance).
+    pub fn record_release_store(&self, hit: bool, bytes: u64) {
+        if hit {
+            self.metrics
+                .counter(
+                    "agmdp_release_store_hits_total",
+                    "Synthesis requests served from the content-addressed release store (no job run, no \u{3b5} spent).",
+                    &[],
+                )
+                .inc();
+            self.metrics
+                .counter(
+                    "agmdp_release_store_bytes_total",
+                    "Bytes of .agb release artifacts served from the store.",
+                    &[],
+                )
+                .add(bytes);
+        } else {
+            self.metrics
+                .counter(
+                    "agmdp_release_store_misses_total",
+                    "Synthesis requests that found no stored release for their key.",
+                    &[],
+                )
+                .inc();
+        }
+    }
+
     /// Records a finished background job.
     pub fn record_job_outcome(&self, completed: bool) {
         self.metrics

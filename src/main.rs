@@ -12,11 +12,12 @@
 //! * `generate-dataset --name <lastfm|petster|epinions|pokec> [--scale f]
 //!   --output <graph>` — write one of the synthetic dataset stand-ins to disk.
 //! * `serve [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
-//!   [--transport event|blocking] [--max-conns <n>] [--queue-depth <n>]
-//!   [--rate-limit <rps>] [--quiet]` — run the multi-tenant synthesis server
-//!   (event-driven keep-alive front end with explicit load shedding) with a
-//!   persistent privacy-budget ledger and a Prometheus `GET /metrics`
-//!   endpoint.
+//!   [--release-store <dir>] [--transport event|blocking] [--max-conns <n>]
+//!   [--queue-depth <n>] [--rate-limit <rps>] [--quiet]` — run the
+//!   multi-tenant synthesis server (event-driven keep-alive front end with
+//!   explicit load shedding) with a persistent privacy-budget ledger, an
+//!   optional on-disk content-addressed release store, and a Prometheus
+//!   `GET /metrics` endpoint.
 //! * `evaluate --plan <file> [--out <dir>] [--markdown <file>] [options]` —
 //!   run a declarative experiment plan (the paper's evaluation) and emit
 //!   per-trial and aggregate artifacts as JSON/CSV/markdown.
@@ -60,7 +61,7 @@ USAGE:
     agmdp generate-dataset --name <lastfm|petster|epinions|pokec> --output <graph>
                      [--scale <0..1>] [--seed <s>]
     agmdp serve      [--addr <ip:port>] [--threads <n>] [--ledger-path <file>]
-                     [--transport event|blocking] [--max-conns <n>]
+                     [--release-store <dir>] [--transport event|blocking] [--max-conns <n>]
                      [--queue-depth <n>] [--rate-limit <rps>]
                      [--max-body-bytes <n>] [--read-timeout-secs <s>]
                      [--write-timeout-secs <s>] [--idle-timeout-secs <s>]
@@ -407,6 +408,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--addr",
             "--threads",
             "--ledger-path",
+            "--release-store",
             "--transport",
             "--max-conns",
             "--queue-depth",
@@ -432,6 +434,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         addr: flags.get("--addr").unwrap_or(&default.addr).to_string(),
         threads: flags.get_parsed_or("--threads", "a positive integer", default.threads)?,
         ledger_path: flags.get("--ledger-path").map(Into::into),
+        release_store: flags.get("--release-store").map(Into::into),
         quiet: flags.has("--quiet"),
         transport,
         max_conns: flags.get_parsed_or("--max-conns", "a positive integer", default.max_conns)?,
@@ -483,6 +486,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .as_deref()
             .map_or("in-memory".to_string(), |p| p.display().to_string()),
         if config.quiet { "off" } else { "stderr" },
+    );
+    println!(
+        "release store: {}",
+        config
+            .release_store
+            .as_deref()
+            .map_or("off".to_string(), |p| p.display().to_string()),
     );
     println!("endpoints: GET /healthz · GET /datasets · POST /datasets · POST /synthesize · GET /jobs/:id · GET /budget/:dataset · GET /evaluate · GET /metrics");
     handle.wait();

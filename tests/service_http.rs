@@ -80,6 +80,14 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
     request(addr, "POST", path, Some(body))
 }
 
+/// Extracts the value of an unlabelled metric from a Prometheus exposition.
+fn parse_metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found in {text}"))
+}
+
 fn field_f64(value: &Value, key: &str) -> f64 {
     json::get(value, key)
         .and_then(json::as_f64)
@@ -265,11 +273,17 @@ fn budget_ledger_enforces_and_survives_restart_over_http() {
 
 #[test]
 fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
+    let store_dir = std::env::temp_dir().join(format!(
+        "agmdp_service_http_metrics_store_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&store_dir).ok();
     let server = agmdp::service::start(&ServiceConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         ledger_path: None,
         quiet: true,
+        release_store: Some(store_dir.clone()),
         ..ServiceConfig::default()
     })
     .expect("server start");
@@ -284,8 +298,9 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
     .unwrap();
     assert_eq!(post(addr, "/datasets", &register_body).status, 201);
 
-    // A cold job, then an identical repeat: exactly one cache miss (the ε
-    // spend) and one cache hit (free post-processing).
+    // A cold job, then an identical repeat: the repeat is served straight
+    // from the on-disk release store — no job runs, the fit cache is never
+    // even consulted.
     let body = r#"{"dataset":"toy","epsilon":0.5,"seed":7}"#;
     let first = post(addr, "/synthesize", body);
     assert_eq!(first.status, 202, "{:?}", first.body);
@@ -294,7 +309,20 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
     let second = post(addr, "/synthesize", body);
     assert_eq!(second.status, 202, "{:?}", second.body);
     assert!(field_bool(&second.body, "cache_hit"));
+    assert!(field_bool(&second.body, "store_hit"));
     wait_for_job(addr, field_u64(&second.body, "job_id"));
+
+    // Same fit parameters but a different refinement count: a *store* miss
+    // (refinement is part of the release key) that becomes a *fit-cache* hit
+    // when the job runs (refinement is post-processing, outside the fit key).
+    let refined = post(
+        addr,
+        "/synthesize",
+        r#"{"dataset":"toy","epsilon":0.5,"seed":7,"iterations":5}"#,
+    );
+    assert_eq!(refined.status, 202, "{:?}", refined.body);
+    assert!(json::get(&refined.body, "store_hit").is_none());
+    wait_for_job(addr, field_u64(&refined.body, "job_id"));
 
     let budget = get(addr, "/budget/toy");
     let spent = field_f64(&budget.body, "spent");
@@ -305,7 +333,7 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
     // Request counts by endpoint, method, and status...
     assert!(
         text.contains(
-            "agmdp_requests_total{endpoint=\"/synthesize\",method=\"POST\",status=\"202\"} 2"
+            "agmdp_requests_total{endpoint=\"/synthesize\",method=\"POST\",status=\"202\"} 3"
         ),
         "{text}"
     );
@@ -315,11 +343,27 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
         ),
         "{text}"
     );
-    // ...exactly one cold fit and one cache hit, both jobs completed...
+    // ...exactly one cold fit and one fit-cache hit; only the two jobs that
+    // actually ran count as finished — the store hit never became a job...
     assert!(text.contains("agmdp_fit_cache_misses_total 1"), "{text}");
     assert!(text.contains("agmdp_fit_cache_hits_total 1"), "{text}");
     assert!(
         text.contains("agmdp_jobs_finished_total{outcome=\"completed\"} 2"),
+        "{text}"
+    );
+    // ...one release-store hit (the byte-identical replay), two misses (the
+    // cold request and the different refinement count), and occupancy gauges
+    // walked from the store directory at scrape time...
+    assert!(text.contains("agmdp_release_store_hits_total 1"), "{text}");
+    assert!(
+        text.contains("agmdp_release_store_misses_total 2"),
+        "{text}"
+    );
+    let stored_bytes = parse_metric(&text, "agmdp_release_store_bytes_total");
+    assert!(stored_bytes > 0.0, "{text}");
+    assert_eq!(parse_metric(&text, "agmdp_release_store_releases"), 2.0);
+    assert!(
+        parse_metric(&text, "agmdp_release_store_size_bytes") >= stored_bytes,
         "{text}"
     );
     // ...the fit stage timed exactly once (the hit skipped learning)...
@@ -344,6 +388,7 @@ fn metrics_expose_request_counts_cache_outcomes_and_ledger_gauges() {
     );
 
     server.stop();
+    std::fs::remove_dir_all(&store_dir).ok();
 }
 
 #[test]
